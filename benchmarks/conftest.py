@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artefact (a table or figure) and
+both prints it and writes it to ``benchmarks/results/<name>.txt``, so the
+paper-vs-measured comparison survives the run. ``REPRO_BENCH_RUNS``
+controls the per-configuration sample count of the overhead experiments
+(default 3; the paper used 10).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_runs(default: int = 3) -> int:
+    """Sample count for overhead measurements (paper: 10 runs)."""
+    return int(os.environ.get("REPRO_BENCH_RUNS", default))
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print an artefact (visible with -s) and persist it under results/."""
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+    return _emit

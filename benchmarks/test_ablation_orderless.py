@@ -1,0 +1,99 @@
+"""Ablation A2 — order-less record/replay (DebugGovernor-style) fails.
+
+Expected shape (paper §1): tools that record per-channel contents but no
+cross-channel ordering "cannot support applications whose behavior depends
+upon the ordering of inputs sent on different input channels — including
+all of those used in our evaluation". We record DRAM DMA once, then replay
+it (a) with Vidi and (b) order-less; Vidi reproduces the outputs, the
+order-less replay starts the kernel before its data has arrived and
+produces different outputs.
+"""
+
+from repro.analysis.tables import render_table
+from repro.apps.registry import get_app
+from repro.baselines.orderless import OrderlessRecorder, OrderlessReplayer
+from repro.core import VidiConfig, compare_traces
+from repro.harness.runner import bench_config, record_run, replay_run
+from repro.platform.interfaces import make_f1_interfaces
+from repro.sim import Simulator
+
+
+def app_channels(interfaces):
+    return [ch for iface in interfaces.values() for ch in iface.channel_list()]
+
+
+def run_orderless_comparison(seed: int = 11):
+    spec = get_app("dram_dma")
+    # 1. One recorded execution, with both Vidi (R2) and an order-less tap.
+    from repro.platform.shell import F1Deployment
+    acc_factory, host_factory = spec.make()
+    deployment = F1Deployment("ol", acc_factory,
+                              bench_config(VidiConfig.r2), seed=seed)
+    tap = OrderlessRecorder(
+        "ol.rec", app_channels(deployment.app_interfaces))
+    deployment.sim.add(tap)
+    result = {}
+    deployment.cpu.add_thread(host_factory(result, seed=seed, scale=1.0))
+    deployment.run_to_completion(max_cycles=2_000_000)
+    spec.check(result)
+    trace = deployment.recorded_trace()
+    reference_outputs = {
+        name: list(stream) for name, stream in tap.streams.items()
+        if any(c.name == name and c.direction == "out"
+               for c in app_channels(deployment.app_interfaces))
+    }
+
+    # 2. Vidi replay: transaction determinism preserves output ordering.
+    vidi_replay = replay_run(spec, trace)
+    vidi_report = compare_traces(trace, vidi_replay.result["validation"])
+
+    # 3. Order-less replay: fresh accelerator, per-channel streams only.
+    sim = Simulator("ol_replay")
+    interfaces = make_f1_interfaces("olr")
+    for iface in interfaces.values():
+        sim.add(iface)
+    accelerator = spec.make()[0](interfaces)
+    channels = app_channels(interfaces)
+    name_map = {}   # recorded app-side names -> replay-side names
+    for rec_ch, rep_ch in zip(app_channels(deployment.app_interfaces),
+                              channels):
+        name_map[rep_ch.name] = rec_ch.name
+    streams = {ch.name: tap.streams[name_map[ch.name]] for ch in channels}
+    replayer = OrderlessReplayer("ol.rep", channels, streams)
+    sim.add(replayer)
+    sim.add(accelerator)
+    for _ in range(60_000):
+        sim.step()
+        if replayer.done:
+            break
+    for _ in range(200):
+        sim.step()
+
+    mismatched_channels = []
+    for ch in channels:
+        if ch.direction != "out":
+            continue
+        recorded = reference_outputs.get(name_map[ch.name], [])
+        replayed = replayer.collected.get(ch.name, [])
+        if recorded != replayed:
+            mismatched_channels.append(name_map[ch.name].split(".", 2)[-1])
+    return {
+        "vidi_count_divergences": len(vidi_report.of_kind("count"))
+        + len(vidi_report.of_kind("ordering")),
+        "orderless_mismatched_channels": mismatched_channels,
+    }
+
+
+def test_ablation_orderless_replay_fails(benchmark, emit):
+    outcome = benchmark.pedantic(run_orderless_comparison,
+                                 iterations=1, rounds=1)
+    emit("ablation_orderless", render_table(
+        "Ablation A2: Vidi vs order-less replay of the same execution",
+        ["Replayer", "Outcome"],
+        [["Vidi (transaction determinism)",
+          f"{outcome['vidi_count_divergences']} count/ordering divergences"],
+         ["order-less (per-channel streams)",
+          "output mismatch on " +
+          (", ".join(outcome["orderless_mismatched_channels"]) or "none")]]))
+    assert outcome["vidi_count_divergences"] == 0
+    assert outcome["orderless_mismatched_channels"]

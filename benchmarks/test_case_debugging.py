@@ -1,0 +1,16 @@
+"""E5 — §5.2 debugging case study: record the buggy echo server, replay it.
+
+Expected shape (paper): the delayed-start race makes the buggy frame FIFO
+drop data on hardware; the Vidi trace replays the exact same loss
+deterministically, enabling LossCheck-style diagnosis offline.
+"""
+
+from repro.harness.experiments import render_case_debugging, run_case_debugging
+
+
+def test_debugging_case_study(benchmark, emit):
+    outcome = benchmark.pedantic(run_case_debugging, iterations=1, rounds=1)
+    emit("case_debugging", render_case_debugging(outcome))
+    assert outcome["bug_observed"]
+    assert outcome["dropped_on_hardware"] > 0
+    assert outcome["loss_reproduced"]

@@ -1,0 +1,17 @@
+"""E6 — §5.3 testing case study: trace mutation exposes the atop-filter bug.
+
+Expected shape (paper): the buggy filter passes every ordinary execution;
+replaying a trace mutated so a W end precedes its AW end deadlocks it
+deterministically; the upstream bugfix survives the same mutated replay.
+"""
+
+from repro.harness.experiments import render_case_testing, run_case_testing
+
+
+def test_testing_case_study(benchmark, emit):
+    outcome = benchmark.pedantic(run_case_testing, iterations=1, rounds=1)
+    emit("case_testing", render_case_testing(outcome))
+    assert outcome["normal_run_ok"]
+    assert outcome["mutated_deadlocks_buggy"]
+    assert outcome["buggy_filter_wedged"]
+    assert outcome["mutated_passes_fixed"]

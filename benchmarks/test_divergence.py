@@ -1,0 +1,35 @@
+"""E4 — §5.4 effectiveness: divergences across record and replay.
+
+Expected shape (paper): transaction counts and happens-before orderings
+are reproduced exactly for every application; exactly one application
+(DRAM DMA, which polls) shows rare content divergences (~1e-6 per
+transaction at the paper's production scale; higher here because our
+scaled-down runs have far fewer transactions per poll), and the §3.6
+interrupt patch eliminates them entirely.
+"""
+
+from conftest import bench_runs
+
+from repro.harness.experiments import render_divergence, run_divergence
+
+
+def test_divergence_all_apps(benchmark, emit):
+    rows = benchmark.pedantic(
+        run_divergence, kwargs={"runs": bench_runs(2)},
+        iterations=1, rounds=1)
+    emit("divergence", render_divergence(rows))
+    by_label = {row.label: row for row in rows}
+    # Counts and orderings never diverge under transaction determinism.
+    for row in rows:
+        assert row.count == 0, row.label
+        assert row.ordering == 0, row.label
+    # Only the polling DRAM DMA shows content divergences...
+    for label, row in by_label.items():
+        if label in ("DMA",):
+            assert row.content > 0, "polling divergence did not reproduce"
+        else:
+            assert row.content == 0, label
+    # ...and they are rare relative to the transaction volume.
+    assert by_label["DMA"].rate < 0.05
+    # The interrupt patch removes them completely (§3.6).
+    assert by_label["DMA(patched)"].content == 0

@@ -1,0 +1,41 @@
+"""E3 — Fig. 7: resource overhead vs monitored interface combinations.
+
+Expected shape (paper): eleven combinations from a single AXI-Lite bus
+(136 monitored bits) to all five interfaces (3056 bits); LUT/FF/BRAM grow
+roughly linearly with the total monitored width.
+"""
+
+from repro.harness.experiments import render_fig7, run_fig7
+
+
+def _linear_fit_r2(xs, ys):
+    """Coefficient of determination of the least-squares line."""
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    if sxx == 0:
+        return 0.0
+    slope = sxy / sxx
+    intercept = my - slope * mx
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - my) ** 2 for y in ys)
+    return 1.0 - ss_res / ss_tot if ss_tot else 1.0
+
+
+def test_fig7_resource_scaling(benchmark, emit):
+    points = benchmark.pedantic(run_fig7, iterations=1, rounds=1)
+    emit("fig7", render_fig7(points))
+    assert len(points) == 11
+    widths = [p.monitored_bits for p in points]
+    assert min(widths) == 136 and max(widths) == 3056
+    # Roughly linear scaling in monitored width, as the paper concludes.
+    for metric in ("lut_pct", "ff_pct", "bram_pct"):
+        values = [getattr(p, metric) for p in points]
+        assert _linear_fit_r2(widths, values) > 0.97, metric
+    # Monotone: monitoring more width never costs less.
+    ordered = sorted(points, key=lambda p: p.monitored_bits)
+    for a, b in zip(ordered, ordered[1:]):
+        assert b.lut_pct >= a.lut_pct
+        assert b.ff_pct >= a.ff_pct
+        assert b.bram_pct >= a.bram_pct

@@ -1,0 +1,22 @@
+"""E7 — §6: why physical-timestamp tracing cannot keep up.
+
+Expected shape (paper): tracing the largest AXI channel (593 bits at
+250 MHz) needs 18.5 GB/s against 5.5 GB/s of PCIe drain, so 43 MB of BRAM
+absorbs only ~3.3 ms of burst; and at the paper's runtimes, 9+/10
+benchmarks produce cycle-accurate traces far beyond the on-chip buffer.
+Vidi instead back-pressures and never loses events (asserted in the
+monitor property tests).
+"""
+
+from repro.harness.experiments import render_panopticon, run_panopticon
+
+
+def test_panopticon_envelope(benchmark, emit):
+    envelope, rows = benchmark.pedantic(run_panopticon, iterations=1, rounds=1)
+    emit("panopticon", render_panopticon(envelope, rows))
+    assert abs(envelope.peak_bandwidth_gbs - 18.5) < 0.1
+    assert abs(envelope.seconds_to_loss - 3.3e-3) < 0.2e-3
+    assert envelope.loses_data
+    # At the paper's runtimes, at least 9/10 cycle-accurate traces exceed
+    # the 43 MB BRAM buffer.
+    assert sum(r.exceeds_bram for r in rows) >= 9

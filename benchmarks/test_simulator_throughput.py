@@ -1,0 +1,51 @@
+"""Infrastructure bench — simulation-kernel throughput.
+
+Not a paper artefact: documents the substrate's speed so absolute
+runtimes elsewhere are interpretable. Measures cycles/second for (a) a
+minimal design and (b) a full five-interface deployment with Vidi
+recording — the configuration every Table-1 experiment runs in.
+"""
+
+from repro.apps.registry import get_app
+from repro.core import VidiConfig
+from repro.harness.runner import bench_config
+from repro.platform import F1Deployment
+from repro.sim import Module, Simulator
+
+CYCLES = 3_000
+
+
+def test_minimal_design_throughput(benchmark):
+    class Counter(Module):
+        has_comb = False
+
+        def __init__(self):
+            super().__init__("counter")
+            self.count = self.signal("count", width=32)
+
+        def seq(self):
+            self.count.set_next(self.count.value + 1)
+
+    sim = Simulator()
+    counter = Counter()
+    sim.add(counter)
+    sim.elaborate()
+
+    benchmark(sim.run, CYCLES)
+    assert counter.count.value > 0
+
+
+def test_full_deployment_recording_throughput(benchmark):
+    spec = get_app("sha256")
+    acc_factory, host_factory = spec.make()
+
+    def run_once():
+        deployment = F1Deployment("thr", acc_factory,
+                                  bench_config(VidiConfig.r2), seed=1)
+        result = {}
+        deployment.cpu.add_thread(host_factory(result, seed=1, scale=0.5))
+        deployment.run_to_completion()
+        return deployment.sim.cycle
+
+    cycles = benchmark(run_once)
+    assert cycles > 500

@@ -1,0 +1,48 @@
+"""E1b — Table 1: trace sizes and reduction vs the cycle-accurate baseline.
+
+Expected shape (paper): reductions span ~88x (SpamF, the most I/O-bound)
+to ~10^7x (SSSP, the most compute-bound), median ~10^3x. Absolute factors
+shrink with our scaled-down workloads, but the ordering — SSSP's reduction
+the largest, the I/O-bound apps' the smallest — must hold.
+"""
+
+from conftest import bench_runs  # noqa: F401  (env convention)
+
+from repro.analysis.metrics import fmt_bytes, fmt_factor, reduction_factor
+from repro.analysis.tables import render_table
+from repro.apps.registry import APPS
+from repro.core import VidiConfig
+from repro.harness.experiments import CYCLE_ACCURATE_BYTES_PER_CYCLE
+from repro.harness.runner import bench_config, record_run
+
+
+def measure_tracesizes():
+    rows = []
+    for key, spec in APPS.items():
+        metrics = record_run(spec, bench_config(VidiConfig.r2), seed=100)
+        cycle_accurate = metrics.cycles * CYCLE_ACCURATE_BYTES_PER_CYCLE
+        rows.append((spec, metrics.cycles, metrics.trace_bytes,
+                     reduction_factor(cycle_accurate, metrics.trace_bytes)))
+    return rows
+
+
+def test_table1_trace_reduction(benchmark, emit):
+    """Regenerate Table 1's TS / Trace-Reduction columns."""
+    rows = benchmark.pedantic(measure_tracesizes, iterations=1, rounds=1)
+    emit("table1_tracesize", render_table(
+        "Table 1 (cont.): trace size and reduction vs cycle-accurate "
+        "(measured | paper reduction)",
+        ["App", "Cycles", "Vidi trace", "Reduction", "Red.(paper)"],
+        [[spec.label, cycles, fmt_bytes(size), fmt_factor(red),
+          fmt_factor(spec.paper.reduction)]
+         for spec, cycles, size, red in rows]))
+    by_key = {spec.key: (cycles, size, red) for spec, cycles, size, red in rows}
+    reductions = {k: v[2] for k, v in by_key.items()}
+    # SSSP is the most compute-bound: largest reduction, as in the paper.
+    assert reductions["sssp"] == max(reductions.values())
+    # The I/O-bound pair sits at the bottom of the reduction ranking.
+    bottom_two = sorted(reductions, key=reductions.get)[:3]
+    assert "spam_filter" in bottom_two
+    assert "dram_dma" in bottom_two
+    # Every application still reduces by well over an order of magnitude.
+    assert all(red > 10 for red in reductions.values())

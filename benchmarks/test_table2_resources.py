@@ -1,0 +1,29 @@
+"""E2 — Table 2: on-FPGA resource overhead per application.
+
+Expected shape (paper): overhead is essentially application-independent
+(the shim is the same RTL; only Vivado noise varies): LUT ~5.6-6.2%,
+FF ~3.8% (DMA 4.34% with its extra interconnect port), BRAM constant at
+6.92%. All under 7%.
+"""
+
+from repro.harness.experiments import render_table2, run_table2
+
+
+def test_table2_resource_overhead(benchmark, emit):
+    rows = benchmark.pedantic(run_table2, iterations=1, rounds=1)
+    emit("table2", render_table2(rows))
+    for row in rows:
+        # The headline claim: every resource overhead is below 7%.
+        assert row.lut_pct < 7.0
+        assert row.ff_pct < 7.0
+        assert row.bram_pct < 7.0
+        # And each is close to the paper's measurement for that app.
+        assert abs(row.lut_pct - row.app.paper.lut_pct) < 0.4
+        assert abs(row.ff_pct - row.app.paper.ff_pct) < 0.4
+        assert abs(row.bram_pct - row.app.paper.bram_pct) < 0.2
+    # DMA is the most expensive row (extra interconnect port), per paper.
+    dma = next(r for r in rows if r.app.key == "dram_dma")
+    assert dma.lut_pct == max(r.lut_pct for r in rows)
+    assert dma.ff_pct == max(r.ff_pct for r in rows)
+    # BRAM is constant across applications.
+    assert len({round(r.bram_pct, 4) for r in rows}) == 1

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+``pip install -e .`` (or ``python setup.py develop``) is the supported
+install; this fallback keeps ``pytest`` working in a fresh checkout on
+machines without the ``wheel`` package, where PEP-517 editable installs
+are unavailable offline.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A production-style workflow: windowed recording, checkpoints, waveforms.
+
+Long-running deployments don't want to record from power-on. This example
+combines the reproduction's extension features:
+
+1. the §4.2 runtime library gates recording around one FPGA invocation
+   (initialisation traffic is never recorded);
+2. a §7-style checkpoint captures the quiescent architectural state, so
+   the recorded suffix can be replayed later against the snapshot;
+3. the replayed execution is captured as a standard VCD waveform for a
+   viewer such as GTKWave.
+
+Run:  python examples/production_workflow.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import dram_dma
+from repro.core import (
+    VidiConfig,
+    VidiRuntime,
+    compare_traces,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.platform import F1Deployment
+from repro.sim import WaveformRecorder, write_vcd
+
+
+def main() -> None:
+    accelerator_factory, _ = dram_dma.make(polling=False)
+
+    # ------------------------------------------------------------------
+    # Phase 1: warm-up runs nobody wants in the trace.
+    # ------------------------------------------------------------------
+    deployment = F1Deployment("prod", accelerator_factory, VidiConfig.r2(),
+                              seed=40)
+    runtime = VidiRuntime(deployment)
+    runtime.disable_recording()
+    warmup = {}
+    deployment.cpu.add_thread(dram_dma.host_program(
+        warmup, 41, n_words=16, polling=False, n_tasks=2))
+    deployment.run_to_completion()
+    assert warmup["ok"]
+    print(f"warm-up: 2 tasks, {deployment.sim.cycle} cycles, recorded "
+          f"{runtime.trace().size_bytes} bytes (recording was off)")
+
+    # ------------------------------------------------------------------
+    # Phase 2: checkpoint at the quiescent point.
+    # ------------------------------------------------------------------
+    checkpoint = take_checkpoint(deployment)
+    print(f"checkpoint: {checkpoint.dram_bytes // 1024} KB of DRAM state, "
+          f"doorbell counter {checkpoint.doorbell_count}, "
+          f"cycle {checkpoint.cycle}")
+
+    # ------------------------------------------------------------------
+    # Phase 3: record exactly one production invocation from the
+    # checkpointed state.
+    # ------------------------------------------------------------------
+    window = F1Deployment("prod_window", accelerator_factory,
+                          VidiConfig.r2(), seed=42)
+    restore_checkpoint(window, checkpoint)
+    window_runtime = VidiRuntime(window)
+    interesting = {}
+    window.cpu.add_thread(dram_dma.host_program(
+        interesting, 43, n_words=16, polling=False, n_tasks=1,
+        doorbell_base=checkpoint.doorbell_count))
+    with window_runtime.recording():
+        window.run_to_completion()
+    assert interesting["ok"]
+    trace = window_runtime.trace({"phase": "invocation-3"})
+    print(f"window: 1 task recorded, {trace.size_bytes} bytes")
+
+    # ------------------------------------------------------------------
+    # Phase 4: replay the suffix against the checkpoint, dumping a VCD.
+    # ------------------------------------------------------------------
+    replay = F1Deployment("prod_replay", accelerator_factory,
+                          VidiConfig.r3(), replay_trace=trace)
+    restore_checkpoint(replay, checkpoint, restore_host=False)
+    ocl_w = replay.app_interfaces["ocl"].w
+    pcim_w = replay.app_interfaces["pcim"].w
+    waves = WaveformRecorder(replay.sim, [
+        ocl_w.valid, ocl_w.ready, pcim_w.valid, pcim_w.ready])
+    replay.run_replay()
+    report = compare_traces(trace, replay.recorded_trace())
+    print(f"replay: {report.summary()}")
+
+    vcd_path = Path(tempfile.gettempdir()) / "vidi_replay.vcd"
+    write_vcd(waves, vcd_path, module="replay")
+    print(f"waveform: {vcd_path} "
+          f"({vcd_path.stat().st_size} bytes of VCD for your viewer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The §5.3 testing workflow: mutate a production trace into a corner case.
+
+The atop-filter echo server passes every ordinary execution, in simulation
+and on hardware, because real DMA controllers happen to complete the
+write-address transaction before the write-data beats. The AXI protocol
+does not require that order — and the filter deadlocks when it is broken.
+
+Workflow:
+1. capture a production-like trace of the healthy echo server;
+2. use the mutation tool to reorder one W end before its AW end (legal per
+   AXI, never observed in the wild);
+3. replay the mutated trace against the unchanged design: deadlock;
+4. replay it against the patched filter: passes.
+
+Run:  python examples/testing_with_mutation.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps import atop_echo
+from repro.core import EventRef, TraceMutator, VidiConfig
+from repro.errors import WatchdogTimeout
+from repro.platform import F1Deployment
+
+
+def replay(trace, buggy: bool, max_cycles: int):
+    factory, _ = atop_echo.make(buggy=buggy)
+    deployment = F1Deployment("replay", factory, VidiConfig.r3(),
+                              replay_trace=trace)
+    try:
+        cycles = deployment.run_replay(max_cycles=max_cycles)
+        return deployment, cycles, False
+    except WatchdogTimeout:
+        return deployment, max_cycles, True
+
+
+def main() -> None:
+    # 1. Capture a trace of the healthy execution.
+    factory, host_factory = atop_echo.make(buggy=True)
+    recording = F1Deployment("prod", factory, VidiConfig.r2(), seed=5)
+    result = {}
+    recording.cpu.add_thread(host_factory(result, seed=5))
+    recording.run_to_completion()
+    print(f"production run: pong {'matches' if result['ok'] else 'differs'}, "
+          f"filter healthy={not recording.accelerator.filter.wedged}")
+    trace = recording.recorded_trace({"app": "atop_echo"})
+
+    # 2. Mutate: complete the first W data beat before the AW address.
+    mutator = TraceMutator(trace)
+    mutator.move_end_before(EventRef("end", "pcim.w", 0),
+                            EventRef("end", "pcim.aw", 0))
+    problem = mutator.validate()
+    assert problem is None, problem
+    mutated = mutator.build({"mutation": "w-end before aw-end"})
+    print("mutation: pcim.w end #0 reordered before pcim.aw end #0 "
+          "(AXI-legal, never produced by this environment)")
+
+    # 3. Replay against the unchanged design.
+    buggy_replay, cycles, timed_out = replay(mutated, buggy=True,
+                                             max_cycles=20_000)
+    print(f"buggy filter:  {'DEADLOCK' if timed_out else 'completed'} "
+          f"after {cycles} cycles "
+          f"(wedge latch={buggy_replay.accelerator.filter.wedged})")
+
+    # 4. Replay against the upstream bugfix.
+    fixed_replay, cycles, timed_out = replay(mutated, buggy=False,
+                                             max_cycles=200_000)
+    print(f"fixed filter:  {'DEADLOCK' if timed_out else 'completed'} "
+          f"after {cycles} cycles "
+          f"(wedge latch={fixed_replay.accelerator.filter.wedged})")
+
+
+if __name__ == "__main__":
+    main()

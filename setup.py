@@ -1,0 +1,16 @@
+"""Legacy setup shim so ``pip install -e .`` works without build isolation."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Vidi (ASPLOS 2023) reproduction: transaction-level record/replay "
+        "for simulated reconfigurable hardware"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

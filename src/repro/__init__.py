@@ -1,0 +1,43 @@
+"""repro — a reproduction of "Vidi: Record Replay for Reconfigurable
+Hardware" (ASPLOS 2023).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim`       — cycle-accurate simulation kernel (the substrate),
+* :mod:`repro.channels`  — VALID/READY handshakes and AXI interface bundles,
+* :mod:`repro.platform`  — the simulated AWS F1 instance (CPU, DMA, PCIe),
+* :mod:`repro.core`      — Vidi itself: monitors, encoder, store, decoder,
+  vector-clocked replayers, divergence detection, trace mutation,
+* :mod:`repro.apps`      — the evaluation applications and case studies,
+* :mod:`repro.baselines` — cycle-accurate and order-less record/replay,
+* :mod:`repro.resources` — the analytical LUT/FF/BRAM model,
+* :mod:`repro.harness`   — experiment drivers for every paper artefact.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core import (
+    TraceFile,
+    TraceMutator,
+    VidiConfig,
+    VidiMode,
+    VidiShim,
+    compare_traces,
+)
+from repro.errors import ReproError
+from repro.platform import EnvironmentMode, F1Deployment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnvironmentMode",
+    "F1Deployment",
+    "ReproError",
+    "TraceFile",
+    "TraceMutator",
+    "VidiConfig",
+    "VidiMode",
+    "VidiShim",
+    "compare_traces",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Offline analysis: metrics, table rendering, and trace-built tools
+(profiling and security auditing, the §1 use cases)."""
+
+from repro.analysis.audit import (
+    AuditPolicy,
+    AuditViolation,
+    MemoryWindow,
+    audit_trace,
+    render_audit,
+)
+from repro.analysis.coverage import (
+    OrderingCoverage,
+    render_coverage,
+    trace_order_items,
+)
+from repro.analysis.metrics import (
+    cycles_to_seconds,
+    fmt_bytes,
+    fmt_factor,
+    mean,
+    overhead_pct,
+    reduction_factor,
+    stddev,
+)
+from repro.analysis.profile import (
+    ChannelProfile,
+    TraceProfile,
+    profile_trace,
+    render_profile,
+)
+from repro.analysis.tables import render_bars, render_table
+
+__all__ = [
+    "AuditPolicy",
+    "AuditViolation",
+    "ChannelProfile",
+    "MemoryWindow",
+    "OrderingCoverage",
+    "TraceProfile",
+    "audit_trace",
+    "profile_trace",
+    "render_audit",
+    "render_coverage",
+    "render_profile",
+    "cycles_to_seconds",
+    "fmt_bytes",
+    "fmt_factor",
+    "mean",
+    "overhead_pct",
+    "reduction_factor",
+    "render_bars",
+    "render_table",
+    "stddev",
+    "trace_order_items",
+]

@@ -1,0 +1,128 @@
+"""Trace-based security auditing — another tool built on Vidi's foundation.
+
+§1 lists security auditing and forensics among record/replay's use cases:
+after an incident, the recorded trace is ground truth about every DMA the
+design issued. This auditor checks a trace's memory traffic against a
+declared policy — which host/FPGA address windows each AXI interface may
+touch, and with which operations — and reports every violation with its
+position and payload, without re-running anything.
+
+Example policy: the DRAM DMA application may write host memory only inside
+its mirror buffer and doorbell word; a recorded write anywhere else (say,
+an out-of-bounds address from a corrupted length register) is flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.trace_file import TraceFile
+
+
+@dataclass(frozen=True)
+class MemoryWindow:
+    """One allowed address range with permissions."""
+
+    base: int
+    length: int
+    allow_read: bool = True
+    allow_write: bool = True
+
+    def covers(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.length
+
+
+@dataclass
+class AuditPolicy:
+    """Per-interface allowed address windows.
+
+    ``interface`` is the channel-name prefix ("pcim", "pcis"); address
+    checks apply to that interface's AW (writes) and AR (reads) channels.
+    """
+
+    interface: str
+    windows: List[MemoryWindow] = field(default_factory=list)
+
+    def allows(self, addr: int, is_write: bool) -> bool:
+        for window in self.windows:
+            if window.covers(addr):
+                if is_write and window.allow_write:
+                    return True
+                if not is_write and window.allow_read:
+                    return True
+        return False
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One out-of-policy access found in the trace."""
+
+    packet_index: int
+    channel: str
+    operation: str     # 'write' or 'read'
+    address: int
+    detail: str
+
+
+def _address_of(trace: TraceFile, channel_index: int,
+                content: bytes) -> Optional[int]:
+    """Extract the ``addr`` field from an AW/AR content blob."""
+    info = trace.table[channel_index]
+    if not (info.name.endswith(".aw") or info.name.endswith(".ar")):
+        return None
+    # Address occupies the low field of both AXI and AXI-Lite AW/AR specs.
+    word = int.from_bytes(content, "little")
+    width = 64 if info.payload_bits > 40 else 32
+    return word & ((1 << width) - 1)
+
+
+def audit_trace(trace: TraceFile,
+                policies: List[AuditPolicy]) -> List[AuditViolation]:
+    """Check every recorded address transaction against the policies.
+
+    Input-channel addresses come from recorded start contents; output
+    channels carry addresses only when the trace recorded output contents
+    (the divergence-detection configuration) — the auditor checks whatever
+    is present.
+    """
+    by_prefix = {p.interface: p for p in policies}
+    violations: List[AuditViolation] = []
+    table = trace.table
+    for packet_index, packet in enumerate(trace.packets()):
+        sources: List[Tuple[int, bytes]] = list(packet.contents.items())
+        sources += list(packet.validation.items())
+        for channel_index, content in sources:
+            info = table[channel_index]
+            prefix = info.name.split(".", 1)[0]
+            policy = by_prefix.get(prefix)
+            if policy is None:
+                continue
+            address = _address_of(trace, channel_index, content)
+            if address is None:
+                continue
+            is_write = info.name.endswith(".aw")
+            if not policy.allows(address, is_write):
+                operation = "write" if is_write else "read"
+                violations.append(AuditViolation(
+                    packet_index=packet_index,
+                    channel=info.name,
+                    operation=operation,
+                    address=address,
+                    detail=(f"{operation} at {address:#x} outside the "
+                            f"{prefix} policy windows"),
+                ))
+    return violations
+
+
+def render_audit(violations: List[AuditViolation]) -> str:
+    """Human-readable audit report."""
+    if not violations:
+        return "audit: no out-of-policy accesses found"
+    lines = [f"audit: {len(violations)} out-of-policy access(es):"]
+    for violation in violations[:20]:
+        lines.append(f"  packet {violation.packet_index}: {violation.detail} "
+                     f"({violation.channel})")
+    if len(violations) > 20:
+        lines.append(f"  ... and {len(violations) - 20} more")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Ordering coverage: how much of the legal transaction-order space a set
+of traces has exercised.
+
+The §5.3 insight is that bugs hide in *orderings the environment never
+produces*. That makes ordering coverage the natural adequacy metric for
+trace-based testing: over all pairs of channels that carry traffic, which
+relative orders of their end events have been observed? A test campaign
+(e.g. the fuzzer in :mod:`repro.tools.fuzz`) can then be steered toward
+pairs stuck in one order — exactly where the atop-filter bug lived
+(AW-end always before W-end).
+
+Coverage items are ordered pairs ``(first_channel, then_channel)`` plus
+``(a, '=', b)`` simultaneity marks for ends sharing a cycle packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from repro.analysis.tables import render_table
+from repro.core.trace_file import TraceFile
+
+OrderItem = Tuple[str, str, str]   # (channel_a, relation, channel_b)
+
+
+def trace_order_items(trace: TraceFile, window: int = 4) -> Set[OrderItem]:
+    """Ordering observations in one trace.
+
+    For every pair of end events within ``window`` consecutive eventful
+    packets, record ``(earlier, '<', later)``; ends sharing a packet record
+    ``(a, '=', b)`` (canonically ordered).
+    """
+    table = trace.table
+    items: Set[OrderItem] = set()
+    recent: List[List[str]] = []   # channel names ending per recent packet
+    for packet in trace.packets():
+        ended = [table[i].name for i in range(table.n)
+                 if (packet.ends >> i) & 1]
+        if not ended:
+            continue
+        for i, a in enumerate(ended):
+            for b in ended[i + 1:]:
+                lo, hi = sorted((a, b))
+                items.add((lo, "=", hi))
+        for earlier in recent:
+            for a in earlier:
+                for b in ended:
+                    if a != b:
+                        items.add((a, "<", b))
+        recent.append(ended)
+        if len(recent) > window:
+            recent.pop(0)
+    return items
+
+
+@dataclass
+class OrderingCoverage:
+    """Accumulated ordering observations across a test campaign."""
+
+    window: int = 4
+    observed: Set[OrderItem] = field(default_factory=set)
+    active_channels: Set[str] = field(default_factory=set)
+
+    def add_trace(self, trace: TraceFile) -> int:
+        """Fold one trace in; returns the number of new items it added."""
+        items = trace_order_items(trace, window=self.window)
+        before = len(self.observed)
+        self.observed |= items
+        for a, _rel, b in items:
+            self.active_channels.add(a)
+            self.active_channels.add(b)
+        return len(self.observed) - before
+
+    # ------------------------------------------------------------------
+    @property
+    def possible(self) -> int:
+        """Both orders for every active unordered channel pair."""
+        n = len(self.active_channels)
+        return n * (n - 1) if n else 0
+
+    @property
+    def ratio(self) -> float:
+        """Observed strict orderings over the possible order space."""
+        if not self.possible:
+            return 0.0
+        strict = sum(1 for _a, rel, _b in self.observed if rel == "<")
+        return min(strict / self.possible, 1.0)
+
+    def one_sided_pairs(self) -> List[Tuple[str, str]]:
+        """Pairs seen in exactly one strict order — mutation candidates.
+
+        These are the latent §5.3 assumptions: the design has only ever
+        seen ``a`` end before ``b``, never the (legal) reverse.
+        """
+        strict = {(a, b) for a, rel, b in self.observed if rel == "<"}
+        return sorted((a, b) for a, b in strict
+                      if (b, a) not in strict)
+
+
+def render_coverage(coverage: OrderingCoverage, limit: int = 12) -> str:
+    """Summary plus the top one-sided (untested-order) pairs."""
+    one_sided = coverage.one_sided_pairs()
+    head = (f"ordering coverage: {coverage.ratio:.0%} of the order space "
+            f"({len(coverage.observed)} observations over "
+            f"{len(coverage.active_channels)} active channels); "
+            f"{len(one_sided)} one-sided pair(s)")
+    rows = [[a, b] for a, b in one_sided[:limit]]
+    if not rows:
+        return head
+    return head + "\n" + render_table(
+        "pairs observed in only one order (mutation candidates)",
+        ["always first", "always second"], rows)

@@ -1,0 +1,59 @@
+"""Derived metrics: overheads, reductions, rates.
+
+Small, pure helpers shared by the experiment drivers and benchmarks; all
+Table-1 arithmetic lives here so it is unit-testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.clock import DEFAULT_CLOCK
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); zero for fewer than two samples."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return (sum((v - mu) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+def overhead_pct(baseline_cycles: float, measured_cycles: float) -> float:
+    """Slowdown of ``measured`` relative to ``baseline``, in percent."""
+    return 100.0 * (measured_cycles - baseline_cycles) / baseline_cycles
+
+
+def reduction_factor(cycle_accurate_bytes: int, vidi_bytes: int) -> float:
+    """Table 1's "Trace Reduction": cycle-accurate size over Vidi size."""
+    if vidi_bytes == 0:
+        return float("inf")
+    return cycle_accurate_bytes / vidi_bytes
+
+
+def cycles_to_seconds(cycles: int) -> float:
+    """Wall-clock time at the F1 250 MHz design clock."""
+    return DEFAULT_CLOCK.cycles_to_seconds(cycles)
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.2f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.2f} GB"
+
+
+def fmt_factor(x: float) -> str:
+    """Reduction factors formatted like the paper (97x ... 10,149,896x)."""
+    if x == float("inf"):
+        return "inf"
+    if x >= 1000:
+        return f"{x:,.0f}x"
+    return f"{x:.0f}x"

@@ -1,0 +1,138 @@
+"""Trace-based performance profiling — a tool built on Vidi's foundation.
+
+The paper's introduction argues record/replay is a building block for
+further FPGA tools, performance profilers among them (§1). This module is
+such a tool: it works purely on a recorded trace, with no re-execution,
+and derives the numbers an FPGA performance engineer asks first:
+
+* per-channel throughput (transactions and payload bytes per 1000 packets),
+* transaction latency (start→end distance in eventful-cycle packets),
+* burstiness (longest run of consecutive packets touching the channel),
+* channel utilisation over trace time (a coarse activity timeline).
+
+Packet index is the time axis: the trace stores no timestamps (§6), so
+distances are in *eventful cycles* — a lower bound on real cycles, which
+is exactly the resolution transaction determinism preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import render_table
+from repro.core.trace_file import TraceFile
+
+
+@dataclass
+class ChannelProfile:
+    """Profiling summary for one monitored channel."""
+
+    name: str
+    direction: str
+    transactions: int = 0
+    payload_bytes: int = 0
+    latencies: List[int] = field(default_factory=list)
+    longest_burst: int = 0
+    first_packet: Optional[int] = None
+    last_packet: Optional[int] = None
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean start→end distance in eventful packets (inputs only)."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> int:
+        return max(self.latencies, default=0)
+
+    @property
+    def active_span(self) -> int:
+        """Packets between the channel's first and last event."""
+        if self.first_packet is None:
+            return 0
+        return self.last_packet - self.first_packet + 1
+
+
+@dataclass
+class TraceProfile:
+    """Whole-trace profiling result."""
+
+    total_packets: int
+    channels: Dict[str, ChannelProfile]
+    timeline: List[int]            # events per timeline bucket
+
+    def busiest(self, n: int = 5) -> List[ChannelProfile]:
+        """The n channels with the most transactions."""
+        ranked = sorted(self.channels.values(),
+                        key=lambda c: c.transactions, reverse=True)
+        return [c for c in ranked[:n] if c.transactions]
+
+
+def profile_trace(trace: TraceFile, timeline_buckets: int = 20) -> TraceProfile:
+    """Compute a :class:`TraceProfile` from a recorded trace."""
+    table = trace.table
+    packets = trace.packets()
+    profiles = {
+        info.name: ChannelProfile(name=info.name, direction=info.direction)
+        for info in table.channels
+    }
+    open_starts: Dict[int, int] = {}      # channel -> packet index of start
+    burst_run: Dict[int, int] = {i: 0 for i in range(table.n)}
+    timeline = [0] * max(timeline_buckets, 1)
+    n_packets = max(len(packets), 1)
+    for packet_index, packet in enumerate(packets):
+        bucket = min(packet_index * len(timeline) // n_packets,
+                     len(timeline) - 1)
+        for index in range(table.n):
+            info = table[index]
+            profile = profiles[info.name]
+            touched = False
+            if (packet.starts >> index) & 1:
+                open_starts[index] = packet_index
+                profile.payload_bytes += info.content_bytes
+                touched = True
+            if (packet.ends >> index) & 1:
+                profile.transactions += 1
+                touched = True
+                timeline[bucket] += 1
+                if index in open_starts:
+                    profile.latencies.append(
+                        packet_index - open_starts.pop(index))
+            if touched:
+                if profile.first_packet is None:
+                    profile.first_packet = packet_index
+                profile.last_packet = packet_index
+                burst_run[index] += 1
+                profile.longest_burst = max(profile.longest_burst,
+                                            burst_run[index])
+            else:
+                burst_run[index] = 0
+    return TraceProfile(total_packets=len(packets), channels=profiles,
+                        timeline=timeline)
+
+
+def render_profile(profile: TraceProfile) -> str:
+    """Text report of the busiest channels plus the activity timeline."""
+    rows = []
+    for channel in profile.busiest(12):
+        rows.append([
+            channel.name, channel.direction, channel.transactions,
+            channel.payload_bytes,
+            f"{channel.mean_latency:.1f}" if channel.latencies else "-",
+            channel.max_latency if channel.latencies else "-",
+            channel.longest_burst,
+        ])
+    table = render_table(
+        f"trace profile ({profile.total_packets} eventful packets)",
+        ["Channel", "Dir", "Txns", "Bytes", "Lat(mean)", "Lat(max)",
+         "Burst"],
+        rows)
+    peak = max(profile.timeline) if profile.timeline else 1
+    bars = []
+    for bucket, count in enumerate(profile.timeline):
+        bar = "#" * (0 if peak == 0 else int(round(20 * count / peak)))
+        bars.append(f"  t{bucket:02d} {bar} {count}")
+    return table + "\nactivity timeline (ends per bucket):\n" + "\n".join(bars)

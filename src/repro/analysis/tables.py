@@ -1,0 +1,43 @@
+"""Paper-style text rendering of result tables and figures.
+
+Every experiment driver returns structured rows; this module turns them
+into aligned text tables (and an ASCII bar chart for Fig. 7) so benchmark
+output reads like the paper's artefacts, with paper-reported values beside
+the measured ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render one aligned text table with a title rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines.append(title)
+    lines.append(rule)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def render_bars(title: str, labels: Sequence[str], values: Sequence[float],
+                unit: str = "%", width: int = 50) -> str:
+    """An ASCII horizontal bar chart (the reproduction's Fig. 7 panel)."""
+    peak = max(values) if values else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if peak else ""
+        lines.append(f"{label:<{label_width}}  {bar} {value:.2f}{unit}")
+    return "\n".join(lines)

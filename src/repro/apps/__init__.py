@@ -1,0 +1,4 @@
+"""Evaluation applications: the paper's ten benchmarks plus the two
+case-study designs, all built on the :class:`~repro.apps.base.Accelerator`
+substrate (ocl control registers, pcis DMA-in, pcim DMA-out, cycle-costed
+generator kernels)."""

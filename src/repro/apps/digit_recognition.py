@@ -1,0 +1,102 @@
+"""(4) DigitR — K-nearest-neighbour digit recognition (Rosetta [107]).
+
+Rosetta's digit recognition classifies 196-bit downsampled handwritten
+digits by Hamming distance against a binarised training set with K=3
+majority voting. The kernel scans one training vector per cycle per test
+digit — the linear-scan datapath of the HLS benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.apps.base import REG_ARG0, Accelerator
+from repro.apps.hostlib import standard_host
+
+REG_TRAIN_ADDR = REG_ARG0
+REG_N_TRAIN = REG_ARG0 + 1
+REG_TEST_ADDR = REG_ARG0 + 2
+REG_N_TEST = REG_ARG0 + 3
+REG_OUT_ADDR = REG_ARG0 + 4
+
+TRAIN_BASE = 0x0_0000
+TEST_BASE = 0x8_0000
+OUT_BASE = 0xF_0000
+
+DIGIT_BITS = 196
+DIGIT_BYTES = 28        # 196 bits padded to 28 bytes (25 used)
+K = 3
+CLASSES = 10
+
+
+def knn_classify(train: List[Tuple[int, int]], digit: int) -> int:
+    """Golden model: K=3 Hamming-distance majority vote."""
+    scored = sorted(
+        ((bin(vec ^ digit).count("1"), label, i)
+         for i, (vec, label) in enumerate(train)),
+    )[:K]
+    votes = [0] * CLASSES
+    for _dist, label, _i in scored:
+        votes[label] += 1
+    return max(range(CLASSES), key=lambda c: (votes[c], -c))
+
+
+def pack_training(train: List[Tuple[int, int]]) -> bytes:
+    """Serialize (vector, label) as 28-byte records: 25 data + label + pad."""
+    out = bytearray()
+    for vec, label in train:
+        out += vec.to_bytes(25, "little") + bytes([label]) + b"\0\0"
+    return bytes(out)
+
+
+class DigitRecognition(Accelerator):
+    """Linear-scan KNN over a binarised training set in DRAM."""
+
+    def kernel(self):
+        train_addr = self.regs[REG_TRAIN_ADDR]
+        n_train = self.regs[REG_N_TRAIN]
+        test_addr = self.regs[REG_TEST_ADDR]
+        n_test = self.regs[REG_N_TEST]
+        out_addr = self.regs[REG_OUT_ADDR]
+        train = []
+        for i in range(n_train):
+            record = self.dram.read_bytes(train_addr + DIGIT_BYTES * i,
+                                          DIGIT_BYTES)
+            train.append((int.from_bytes(record[:25], "little"), record[25]))
+            yield 1
+        results = bytearray()
+        for t in range(n_test):
+            digit = int.from_bytes(
+                self.dram.read_bytes(test_addr + 32 * t, 25), "little")
+            results.append(knn_classify(train, digit))
+            yield n_train   # one training-vector comparison per cycle
+        self.dram.write_bytes(out_addr, bytes(results))
+        yield 1
+
+
+def make():
+    """Factory pair for the registry."""
+    def accelerator_factory(interfaces: Dict) -> DigitRecognition:
+        return DigitRecognition("digit_recognition", interfaces)
+
+    def host_factory(result: dict, seed: int, scale: float = 1.0):
+        rng = random.Random(seed)
+        n_train = max(8, int(64 * scale))
+        n_test = max(2, int(12 * scale))
+        train = [(rng.getrandbits(DIGIT_BITS), rng.randrange(CLASSES))
+                 for _ in range(n_train)]
+        tests = [rng.getrandbits(DIGIT_BITS) for _ in range(n_test)]
+        test_blob = b"".join(t.to_bytes(25, "little").ljust(32, b"\0")
+                             for t in tests)
+        golden = bytes(knn_classify(train, t) for t in tests)
+        return standard_host(
+            result,
+            input_blobs=[(TRAIN_BASE, pack_training(train)),
+                         (TEST_BASE, test_blob)],
+            args={REG_TRAIN_ADDR: TRAIN_BASE, REG_N_TRAIN: n_train,
+                  REG_TEST_ADDR: TEST_BASE, REG_N_TEST: n_test,
+                  REG_OUT_ADDR: OUT_BASE},
+            output_addr=OUT_BASE, output_len=n_test, golden=golden)
+
+    return accelerator_factory, host_factory

@@ -1,0 +1,145 @@
+"""(5) FaceD — cascade face detection on integral images (Rosetta [107]).
+
+Rosetta's face detection is a Viola–Jones cascade over integral images.
+Our kernel computes the integral image of a 32x32 grayscale frame, then
+slides a 8x8 window through it evaluating a small cascade of Haar-like
+rectangle features with early rejection; windows passing every stage are
+reported as detections. One window-stage evaluation costs one cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.apps.base import REG_ARG0, Accelerator
+from repro.apps.hostlib import standard_host
+
+REG_IMG_ADDR = REG_ARG0
+REG_OUT_ADDR = REG_ARG0 + 1
+
+IMG_BASE = 0x0_0000
+OUT_BASE = 0xF_0000
+
+IMG = 32          # image side
+WIN = 8           # window side
+
+# A fixed three-stage cascade of Haar-like features: each stage is
+# (rect_a, rect_b, threshold) passing when sum(a) - sum(b) >= threshold.
+# Rectangles are (x, y, w, h) in window coordinates. The stages all test
+# the bright-forehead/dark-chin vertical structure at different scales, so
+# flat noise is rejected early (the cascade's whole point).
+CASCADE: List[Tuple[Tuple[int, int, int, int],
+                    Tuple[int, int, int, int], int]] = [
+    ((0, 0, 8, 4), (0, 4, 8, 4), 200),     # top half brighter than bottom
+    ((0, 0, 4, 4), (4, 4, 4, 4), 400),     # TL quadrant vs BR quadrant
+    ((4, 0, 4, 4), (4, 4, 4, 4), 200),     # TR quadrant vs BR quadrant
+]
+
+
+def integral_image(pixels: bytes, size: int = IMG) -> List[List[int]]:
+    """Summed-area table with a zero border row/column."""
+    ii = [[0] * (size + 1) for _ in range(size + 1)]
+    for y in range(size):
+        row_sum = 0
+        for x in range(size):
+            row_sum += pixels[y * size + x]
+            ii[y + 1][x + 1] = ii[y][x + 1] + row_sum
+    return ii
+
+
+def _rect_sum(ii: List[List[int]], ox: int, oy: int,
+              rect: Tuple[int, int, int, int]) -> int:
+    x, y, w, h = rect
+    x0, y0 = ox + x, oy + y
+    x1, y1 = x0 + w, y0 + h
+    return ii[y1][x1] - ii[y0][x1] - ii[y1][x0] + ii[y0][x0]
+
+
+def detect_faces(pixels: bytes) -> bytes:
+    """Golden model: detection bitmap over window positions."""
+    ii = integral_image(pixels)
+    positions = IMG - WIN + 1
+    bitmap = bytearray(positions * positions)
+    for oy in range(positions):
+        for ox in range(positions):
+            passed = True
+            for rect_a, rect_b, threshold in CASCADE:
+                if _rect_sum(ii, ox, oy, rect_a) - \
+                        _rect_sum(ii, ox, oy, rect_b) < threshold:
+                    passed = False
+                    break
+            bitmap[oy * positions + ox] = 1 if passed else 0
+    return bytes(bitmap)
+
+
+class FaceDetection(Accelerator):
+    """Integral image + sliding-window cascade over a DRAM frame."""
+
+    def kernel(self):
+        img_addr = self.regs[REG_IMG_ADDR]
+        out_addr = self.regs[REG_OUT_ADDR]
+        pixels = self.dram.read_bytes(img_addr, IMG * IMG)
+        ii = integral_image(pixels)
+        yield IMG   # integral image: one row per cycle
+        positions = IMG - WIN + 1
+        bitmap = bytearray(positions * positions)
+        for oy in range(positions):
+            for ox in range(positions):
+                passed = True
+                for rect_a, rect_b, threshold in CASCADE:
+                    yield 1   # one stage evaluation per cycle
+                    if _rect_sum(ii, ox, oy, rect_a) - \
+                            _rect_sum(ii, ox, oy, rect_b) < threshold:
+                        passed = False
+                        break
+                bitmap[oy * positions + ox] = 1 if passed else 0
+        self.dram.write_bytes(out_addr, bytes(bitmap))
+        yield 1
+
+
+def random_frame(rng: random.Random, n_blobs: int) -> bytes:
+    """A noisy frame with bright-on-top blobs that trip the cascade."""
+    pixels = bytearray(rng.getrandbits(7) for _ in range(IMG * IMG))
+    for _blob in range(n_blobs):
+        bx, by = rng.randrange(IMG - WIN), rng.randrange(IMG - WIN)
+        for y in range(WIN):
+            for x in range(WIN):
+                value = 220 - 22 * y + rng.randrange(8)
+                pixels[(by + y) * IMG + bx + x] = max(0, min(255, value))
+    return bytes(pixels)
+
+
+def host_program(result: dict, seed: int, n_frames: int = 3):
+    """Detect faces in a short stream of frames (video-style workload)."""
+    from repro.apps.base import DOORBELL_ADDR, REG_CTRL
+    from repro.platform.cpu import DmaRead, DmaWrite, MmioWrite, WaitHostWord
+
+    rng = random.Random(seed)
+    positions = IMG - WIN + 1
+    ok = True
+    for frame in range(n_frames):
+        pixels = random_frame(rng, n_blobs=1 + frame % 3)
+        yield DmaWrite(IMG_BASE, pixels)
+        yield MmioWrite("ocl", REG_IMG_ADDR * 4, IMG_BASE)
+        yield MmioWrite("ocl", REG_OUT_ADDR * 4, OUT_BASE)
+        yield MmioWrite("ocl", REG_CTRL * 4, 1)
+        expect = frame + 1
+        yield WaitHostWord(DOORBELL_ADDR, lambda w, e=expect: w >= e)
+        bitmap = yield DmaRead(OUT_BASE, positions * positions)
+        golden = detect_faces(pixels)
+        ok = ok and bitmap == golden
+        result["output"] = bitmap
+        result["expected"] = golden
+    result["ok"] = ok
+
+
+def make():
+    """Factory pair for the registry."""
+    def accelerator_factory(interfaces: Dict) -> FaceDetection:
+        return FaceDetection("face_detection", interfaces)
+
+    def host_factory(result: dict, seed: int, scale: float = 1.0):
+        return host_program(result, seed, n_frames=max(1, int(3 * scale)))
+
+    return accelerator_factory, host_factory

@@ -1,0 +1,126 @@
+"""(7) OpFlw — Lucas–Kanade optical flow (Rosetta [107]).
+
+Dense optical flow between two 32x32 grayscale frames using the classic
+Lucas–Kanade method: central-difference gradients, 3x3 window accumulation
+of the structure tensor, and an integer 2x2 solve per pixel. All math is
+integer so hardware and golden model agree exactly. One pixel's tensor
+accumulation + solve costs ~3 cycles, the II of the pipelined HLS design.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.apps.base import REG_ARG0, Accelerator
+from repro.apps.hostlib import standard_host
+
+REG_F0_ADDR = REG_ARG0
+REG_F1_ADDR = REG_ARG0 + 1
+REG_OUT_ADDR = REG_ARG0 + 2
+
+F0_BASE = 0x0_0000
+F1_BASE = 0x2_0000
+OUT_BASE = 0xF_0000
+
+SIZE = 32
+SCALE_BITS = 4   # flow stored as signed Q4 fixed point in one byte
+
+
+def _gradients(f0: bytes, f1: bytes):
+    """Central-difference spatial gradients and temporal difference."""
+    ix = [[0] * SIZE for _ in range(SIZE)]
+    iy = [[0] * SIZE for _ in range(SIZE)]
+    it = [[0] * SIZE for _ in range(SIZE)]
+    for y in range(SIZE):
+        for x in range(SIZE):
+            xm, xp = max(x - 1, 0), min(x + 1, SIZE - 1)
+            ym, yp = max(y - 1, 0), min(y + 1, SIZE - 1)
+            ix[y][x] = (f0[y * SIZE + xp] - f0[y * SIZE + xm]) // 2
+            iy[y][x] = (f0[yp * SIZE + x] - f0[ym * SIZE + x]) // 2
+            it[y][x] = f1[y * SIZE + x] - f0[y * SIZE + x]
+    return ix, iy, it
+
+
+def _solve_pixel(ix, iy, it, x: int, y: int) -> Tuple[int, int]:
+    """Accumulate the 3x3 structure tensor and solve for (u, v) in Q4."""
+    sxx = sxy = syy = sxt = syt = 0
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            px = min(max(x + dx, 0), SIZE - 1)
+            py = min(max(y + dy, 0), SIZE - 1)
+            gx, gy, gt = ix[py][px], iy[py][px], it[py][px]
+            sxx += gx * gx
+            sxy += gx * gy
+            syy += gy * gy
+            sxt += gx * gt
+            syt += gy * gt
+    det = sxx * syy - sxy * sxy
+    if det == 0:
+        return 0, 0
+    u = (-(syy * sxt - sxy * syt) << SCALE_BITS) // det
+    v = (-(sxx * syt - sxy * sxt) << SCALE_BITS) // det
+    clamp = (1 << 7) - 1
+    return max(-clamp, min(clamp, u)), max(-clamp, min(clamp, v))
+
+
+def optical_flow(f0: bytes, f1: bytes) -> bytes:
+    """Golden model: interleaved (u, v) bytes for every pixel."""
+    ix, iy, it = _gradients(f0, f1)
+    out = bytearray()
+    for y in range(SIZE):
+        for x in range(SIZE):
+            u, v = _solve_pixel(ix, iy, it, x, y)
+            out += bytes([(u & 0xFF), (v & 0xFF)])
+    return bytes(out)
+
+
+class OpticalFlow(Accelerator):
+    """Two-frame Lucas–Kanade over DRAM-resident frames."""
+
+    def kernel(self):
+        f0 = self.dram.read_bytes(self.regs[REG_F0_ADDR], SIZE * SIZE)
+        f1 = self.dram.read_bytes(self.regs[REG_F1_ADDR], SIZE * SIZE)
+        out_addr = self.regs[REG_OUT_ADDR]
+        ix, iy, it = _gradients(f0, f1)
+        yield SIZE   # gradient pass, one row per cycle
+        out = bytearray()
+        for y in range(SIZE):
+            for x in range(SIZE):
+                u, v = _solve_pixel(ix, iy, it, x, y)
+                out += bytes([(u & 0xFF), (v & 0xFF)])
+                yield 3   # tensor accumulation + solve
+        self.dram.write_bytes(out_addr, bytes(out))
+        yield 1
+
+
+def make():
+    """Factory pair for the registry."""
+    def accelerator_factory(interfaces: Dict) -> OpticalFlow:
+        return OpticalFlow("optical_flow", interfaces)
+
+    def host_factory(result: dict, seed: int, scale: float = 1.0):
+        rng = random.Random(seed)
+        # Frame 0: smooth random texture; frame 1: frame 0 shifted by (1, 0)
+        # plus noise, so the solver has real structure to lock onto.
+        f0 = bytearray(SIZE * SIZE)
+        for y in range(SIZE):
+            for x in range(SIZE):
+                f0[y * SIZE + x] = (16 * ((x // 4 + y // 4) % 8)
+                                    + rng.randrange(16))
+        f1 = bytearray(SIZE * SIZE)
+        for y in range(SIZE):
+            for x in range(SIZE):
+                src_x = max(0, x - 1)
+                f1[y * SIZE + x] = min(255, f0[y * SIZE + src_x]
+                                       + rng.randrange(3))
+        f0, f1 = bytes(f0), bytes(f1)
+        return standard_host(
+            result,
+            input_blobs=[(F0_BASE, f0), (F1_BASE, f1)],
+            args={REG_F0_ADDR: F0_BASE, REG_F1_ADDR: F1_BASE,
+                  REG_OUT_ADDR: OUT_BASE},
+            output_addr=OUT_BASE, output_len=2 * SIZE * SIZE,
+            golden=optical_flow(f0, f1))
+
+    return accelerator_factory, host_factory

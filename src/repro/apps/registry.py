@@ -1,0 +1,146 @@
+"""Registry of the ten Table-1 applications, with the paper's reference rows.
+
+Each entry couples an accelerator factory, a host-program factory, a golden
+checker and a default workload scale, plus the numbers the paper reports so
+benchmarks can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.apps import (
+    bnn,
+    digit_recognition,
+    dram_dma,
+    face_detection,
+    mobilenet,
+    optical_flow,
+    rendering3d,
+    sha256,
+    spam_filter,
+    sssp,
+)
+from repro.apps.hostlib import check_standard
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One application's row of the paper's Table 1 and Table 2."""
+
+    exec_time_s: float
+    overhead_pct: float
+    overhead_std: float
+    trace_gb: float
+    reduction: float
+    lut_pct: float
+    ff_pct: float
+    bram_pct: float
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Everything the harness needs to run one benchmark application."""
+
+    key: str
+    label: str
+    make: Callable[[], Tuple[Callable, Callable]]
+    check: Callable[[dict], None]
+    default_scale: float
+    paper: Optional[PaperRow]
+    io_bound: bool = False   # streaming-dominated (overhead-prone) workloads
+    interfaces: Optional[Tuple[str, ...]] = None  # None = the five F1 buses
+    stream_workload: Optional[Callable[[int, float], list]] = None
+
+
+APPS: Dict[str, AppSpec] = {}
+EXTRA_APPS: Dict[str, AppSpec] = {}
+"""Extension applications (§4.1 boundary customisations) — runnable through
+the harness but not part of the Table-1 set."""
+
+
+def _register(spec: AppSpec) -> None:
+    APPS[spec.key] = spec
+
+
+_register(AppSpec(
+    key="dram_dma", label="DMA", make=lambda: dram_dma.make(polling=True),
+    check=dram_dma.check, default_scale=4.0, io_bound=True,
+    paper=PaperRow(1.66, 5.93, 0.45, 0.81, 97, 6.18, 4.34, 6.92)))
+_register(AppSpec(
+    key="rendering3d", label="3D", make=rendering3d.make,
+    check=check_standard, default_scale=2.0,
+    paper=PaperRow(4.14, 0.54, 2.88, 0.14, 1439, 5.57, 3.82, 6.92)))
+_register(AppSpec(
+    key="bnn", label="BNN", make=bnn.make,
+    check=check_standard, default_scale=1.0,
+    paper=PaperRow(6.43, 0.63, 1.68, 0.31, 966, 5.67, 3.82, 6.92)))
+_register(AppSpec(
+    key="digit_recognition", label="DigitR", make=digit_recognition.make,
+    check=check_standard, default_scale=1.0,
+    paper=PaperRow(9.56, 0.03, 0.14, 0.97, 468, 5.65, 3.82, 6.92)))
+_register(AppSpec(
+    key="face_detection", label="FaceD", make=face_detection.make,
+    check=check_standard, default_scale=1.0,
+    paper=PaperRow(17.41, -0.05, 1.28, 0.12, 7011, 5.64, 3.82, 6.92)))
+_register(AppSpec(
+    key="spam_filter", label="SpamF", make=spam_filter.make,
+    check=check_standard, default_scale=6.0, io_bound=True,
+    paper=PaperRow(1.56, 10.54, 0.40, 0.83, 88, 5.63, 3.82, 6.92)))
+_register(AppSpec(
+    key="optical_flow", label="OpFlw", make=optical_flow.make,
+    check=check_standard, default_scale=1.0,
+    paper=PaperRow(13.79, 1.91, 0.27, 1.33, 490, 5.73, 3.86, 6.92)))
+_register(AppSpec(
+    key="sssp", label="SSSP", make=sssp.make,
+    check=check_standard, default_scale=1.5,
+    paper=PaperRow(397.83, 0.00, 0.01, 0.002, 10_149_896, 5.58, 3.82, 6.92)))
+_register(AppSpec(
+    key="sha256", label="SHA", make=sha256.make,
+    check=check_standard, default_scale=1.0,
+    paper=PaperRow(31.75, 0.64, 0.06, 1.23, 1219, 5.60, 3.82, 6.92)))
+_register(AppSpec(
+    key="mobilenet", label="MNet", make=mobilenet.make,
+    check=check_standard, default_scale=1.0,
+    paper=PaperRow(110.71, 0.11, 0.27, 0.51, 10_163, 5.61, 3.81, 6.92)))
+
+
+def _check_ok(result: dict) -> None:
+    assert result.get("ok"), "application reported a mismatch"
+
+
+def _register_extras() -> None:
+    from repro.apps import dram_dma_axi, packet_filter
+
+    EXTRA_APPS["dram_dma_axi"] = AppSpec(
+        key="dram_dma_axi", label="DMA(ddr4)", make=dram_dma_axi.make,
+        check=_check_ok, default_scale=1.0, paper=None,
+        interfaces=("sda", "ocl", "bar1", "pcim", "pcis", "ddr4"))
+    EXTRA_APPS["packet_filter"] = AppSpec(
+        key="packet_filter", label="PktFilt", make=packet_filter.make,
+        check=_check_ok, default_scale=1.0, paper=None,
+        interfaces=("sda", "ocl", "bar1", "pcim", "pcis",
+                    "axis_in", "axis_out"),
+        stream_workload=lambda seed, scale: packet_filter.workload(
+            seed, n_packets=max(4, int(24 * scale))))
+
+
+_register_extras()
+
+
+def get_app(key: str) -> AppSpec:
+    """Look an application up by key; raises on unknown names."""
+    if key in APPS:
+        return APPS[key]
+    if key in EXTRA_APPS:
+        return EXTRA_APPS[key]
+    raise ConfigError(
+        f"unknown application {key!r}; known: "
+        f"{sorted(APPS) + sorted(EXTRA_APPS)}")
+
+
+def app_keys() -> Tuple[str, ...]:
+    """All registered application keys, Table-1 order."""
+    return tuple(APPS)

@@ -1,0 +1,131 @@
+"""(2) 3D — triangle rasterisation (Rosetta's "3D rendering" [107]).
+
+Projects 3-D triangles orthographically and rasterises them into an 8-bit
+depth-shaded framebuffer using integer edge functions — the same pipeline
+shape as the Rosetta benchmark (projection, bounding box, coverage test,
+depth update). One bounding-box pixel costs one cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.apps.base import REG_ARG0, Accelerator
+from repro.apps.hostlib import standard_host
+
+REG_TRI_ADDR = REG_ARG0
+REG_N_TRIS = REG_ARG0 + 1
+REG_FB_ADDR = REG_ARG0 + 2
+
+TRI_BASE = 0x0_0000
+FB_BASE = 0xF_0000
+FB_SIZE = 64                # 64x64 framebuffer
+TRI_RECORD = 12             # 3 vertices x (x, y, z) bytes, padded
+
+Triangle = Tuple[int, int, int, int, int, int, int, int, int]
+
+
+def pack_triangles(triangles: List[Triangle]) -> bytes:
+    """Serialize triangles as 12-byte records (9 coordinate bytes + pad)."""
+    out = bytearray()
+    for tri in triangles:
+        out += bytes(tri) + b"\0\0\0"
+    return bytes(out)
+
+
+def _edge(ax: int, ay: int, bx: int, by: int, px: int, py: int) -> int:
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def rasterise(triangles: List[Triangle], size: int = FB_SIZE) -> bytearray:
+    """Golden model: depth-buffered coverage rasterisation."""
+    framebuffer = bytearray(size * size)
+    zbuffer = [255] * (size * size)
+    for x0, y0, z0, x1, y1, z1, x2, y2, z2 in triangles:
+        # Orient consistently (counter-clockwise).
+        if _edge(x0, y0, x1, y1, x2, y2) < 0:
+            x1, y1, z1, x2, y2, z2 = x2, y2, z2, x1, y1, z1
+        min_x = max(min(x0, x1, x2), 0)
+        max_x = min(max(x0, x1, x2), size - 1)
+        min_y = max(min(y0, y1, y2), 0)
+        max_y = min(max(y0, y1, y2), size - 1)
+        depth = (z0 + z1 + z2) // 3
+        for py in range(min_y, max_y + 1):
+            for px in range(min_x, max_x + 1):
+                if (_edge(x0, y0, x1, y1, px, py) >= 0
+                        and _edge(x1, y1, x2, y2, px, py) >= 0
+                        and _edge(x2, y2, x0, y0, px, py) >= 0):
+                    index = py * size + px
+                    if depth < zbuffer[index]:
+                        zbuffer[index] = depth
+                        framebuffer[index] = 255 - depth
+    return framebuffer
+
+
+class Rendering3D(Accelerator):
+    """Rasterises triangles from DRAM into a DRAM framebuffer."""
+
+    def kernel(self):
+        tri_addr = self.regs[REG_TRI_ADDR]
+        n_tris = self.regs[REG_N_TRIS]
+        fb_addr = self.regs[REG_FB_ADDR]
+        size = FB_SIZE
+        framebuffer = bytearray(size * size)
+        zbuffer = [255] * (size * size)
+        for t in range(n_tris):
+            record = self.dram.read_bytes(tri_addr + TRI_RECORD * t, 9)
+            x0, y0, z0, x1, y1, z1, x2, y2, z2 = record
+            if _edge(x0, y0, x1, y1, x2, y2) < 0:
+                x1, y1, z1, x2, y2, z2 = x2, y2, z2, x1, y1, z1
+            min_x = max(min(x0, x1, x2), 0)
+            max_x = min(max(x0, x1, x2), size - 1)
+            min_y = max(min(y0, y1, y2), 0)
+            max_y = min(max(y0, y1, y2), size - 1)
+            depth = (z0 + z1 + z2) // 3
+            yield 3   # projection + setup
+            for py in range(min_y, max_y + 1):
+                for px in range(min_x, max_x + 1):
+                    if (_edge(x0, y0, x1, y1, px, py) >= 0
+                            and _edge(x1, y1, x2, y2, px, py) >= 0
+                            and _edge(x2, y2, x0, y0, px, py) >= 0):
+                        index = py * size + px
+                        if depth < zbuffer[index]:
+                            zbuffer[index] = depth
+                            framebuffer[index] = 255 - depth
+                    yield 1   # one candidate pixel per cycle
+        self.dram.write_bytes(fb_addr, bytes(framebuffer))
+        yield 4
+
+
+def random_triangles(rng: random.Random, n: int) -> List[Triangle]:
+    """Random small triangles inside the framebuffer."""
+    triangles = []
+    for _ in range(n):
+        cx, cy = rng.randrange(8, FB_SIZE - 8), rng.randrange(8, FB_SIZE - 8)
+        tri = []
+        for _v in range(3):
+            tri += [max(0, min(FB_SIZE - 1, cx + rng.randrange(-7, 8))),
+                    max(0, min(FB_SIZE - 1, cy + rng.randrange(-7, 8))),
+                    rng.randrange(8, 248)]
+        triangles.append(tuple(tri))
+    return triangles
+
+
+def make():
+    """Factory pair for the registry."""
+    def accelerator_factory(interfaces: Dict) -> Rendering3D:
+        return Rendering3D("rendering3d", interfaces)
+
+    def host_factory(result: dict, seed: int, scale: float = 1.0):
+        rng = random.Random(seed)
+        triangles = random_triangles(rng, max(2, int(12 * scale)))
+        golden = bytes(rasterise(triangles))
+        return standard_host(
+            result,
+            input_blobs=[(TRI_BASE, pack_triangles(triangles))],
+            args={REG_TRI_ADDR: TRI_BASE, REG_N_TRIS: len(triangles),
+                  REG_FB_ADDR: FB_BASE},
+            output_addr=FB_BASE, output_len=FB_SIZE * FB_SIZE, golden=golden)
+
+    return accelerator_factory, host_factory

@@ -1,0 +1,122 @@
+"""(9) SHA — a SHA-256 hashing accelerator (cf. FPGA-SHA256 [4]).
+
+A from-scratch SHA-256 implementation running as a cycle-scheduled kernel:
+one 64-byte block costs ~64 cycles (one compression round per cycle), the
+shape of a pipelined hardware hasher. The host streams the padded message
+into on-FPGA DRAM, the kernel hashes it, and the 32-byte digest is read
+back and checked against a pure-software golden model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.apps.base import REG_ARG0, Accelerator
+from repro.apps.hostlib import standard_host
+
+REG_MSG_ADDR = REG_ARG0
+REG_MSG_BLOCKS = REG_ARG0 + 1
+REG_OUT_ADDR = REG_ARG0 + 2
+
+MSG_BASE = 0x0_0000
+OUT_BASE = 0xF_0000
+
+_K = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+]
+_H0 = [0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+       0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19]
+_M32 = 0xFFFF_FFFF
+
+
+def _rotr(x: int, n: int) -> int:
+    return ((x >> n) | (x << (32 - n))) & _M32
+
+
+def sha256_pad(message: bytes) -> bytes:
+    """Standard SHA-256 padding to a whole number of 64-byte blocks."""
+    length = len(message)
+    padded = bytearray(message)
+    padded.append(0x80)
+    while len(padded) % 64 != 56:
+        padded.append(0)
+    padded += (8 * length).to_bytes(8, "big")
+    return bytes(padded)
+
+
+def sha256_compress(state, block: bytes):
+    """One SHA-256 compression; returns the new state tuple."""
+    w = list(int.from_bytes(block[i:i + 4], "big") for i in range(0, 64, 4))
+    for i in range(16, 64):
+        s0 = _rotr(w[i - 15], 7) ^ _rotr(w[i - 15], 18) ^ (w[i - 15] >> 3)
+        s1 = _rotr(w[i - 2], 17) ^ _rotr(w[i - 2], 19) ^ (w[i - 2] >> 10)
+        w.append((w[i - 16] + s0 + w[i - 7] + s1) & _M32)
+    a, b, c, d, e, f, g, h = state
+    for i in range(64):
+        s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        temp1 = (h + s1 + ch + _K[i] + w[i]) & _M32
+        s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        temp2 = (s0 + maj) & _M32
+        a, b, c, d, e, f, g, h = (
+            (temp1 + temp2) & _M32, a, b, c, (d + temp1) & _M32, e, f, g)
+    return tuple((x + y) & _M32 for x, y in zip(state, (a, b, c, d, e, f, g, h)))
+
+
+def sha256_digest(message: bytes) -> bytes:
+    """Golden model: the full hash in software."""
+    state = tuple(_H0)
+    padded = sha256_pad(message)
+    for offset in range(0, len(padded), 64):
+        state = sha256_compress(state, padded[offset:offset + 64])
+    return b"".join(word.to_bytes(4, "big") for word in state)
+
+
+class Sha256Accelerator(Accelerator):
+    """Hashes pre-padded blocks from DRAM; ~64 cycles per block."""
+
+    def kernel(self):
+        msg_addr = self.regs[REG_MSG_ADDR]
+        n_blocks = self.regs[REG_MSG_BLOCKS]
+        out_addr = self.regs[REG_OUT_ADDR]
+        state = tuple(_H0)
+        for block_index in range(n_blocks):
+            block = self.dram.read_bytes(msg_addr + 64 * block_index, 64)
+            state = sha256_compress(state, block)
+            yield 64   # one compression round per cycle
+        digest = b"".join(word.to_bytes(4, "big") for word in state)
+        self.dram.write_bytes(out_addr, digest.ljust(64, b"\0"))
+        yield 1
+
+
+def make():
+    """Factory pair for the registry."""
+    def accelerator_factory(interfaces: Dict) -> Sha256Accelerator:
+        return Sha256Accelerator("sha256", interfaces)
+
+    def host_factory(result: dict, seed: int, scale: float = 1.0):
+        rng = random.Random(seed)
+        message = bytes(rng.getrandbits(8)
+                        for _ in range(max(64, int(2048 * scale))))
+        padded = sha256_pad(message)
+        golden = sha256_digest(message).ljust(64, b"\0")
+        return standard_host(
+            result,
+            input_blobs=[(MSG_BASE, padded)],
+            args={REG_MSG_ADDR: MSG_BASE, REG_MSG_BLOCKS: len(padded) // 64,
+                  REG_OUT_ADDR: OUT_BASE},
+            output_addr=OUT_BASE, output_len=64, golden=golden)
+
+    return accelerator_factory, host_factory

@@ -1,0 +1,133 @@
+"""(6) SpamF — SGD logistic-regression spam filter (Rosetta [107]).
+
+Rosetta's spam filter trains a logistic-regression classifier with
+stochastic gradient descent over streamed feature vectors. The training
+set is large relative to the compute per sample, which makes this the most
+I/O-bound benchmark — the paper measures its highest recording overhead
+(10.54%) and lowest trace reduction (88x).
+
+Arithmetic is 16-bit fixed point (Q8.8) with a piecewise-linear sigmoid, as
+an HLS implementation would use; the golden model runs the identical
+fixed-point math so results match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.apps.base import REG_ARG0, Accelerator
+from repro.apps.hostlib import standard_host
+
+REG_TRAIN_ADDR = REG_ARG0
+REG_N_SAMPLES = REG_ARG0 + 1
+REG_OUT_ADDR = REG_ARG0 + 2
+
+TRAIN_BASE = 0x0_0000
+OUT_BASE = 0xF_0000
+
+FEATURES = 30           # 30 x 2-byte features + 2-byte label = one 64B word
+SAMPLE_BYTES = 64
+FRAC = 8                # Q8.8 fixed point
+LEARNING_RATE = 16      # numerator of the fixed-point learning rate
+LR_SHIFT = 12           # update = (LR * error * feature) >> LR_SHIFT
+
+
+def _sigmoid_q(x: int) -> int:
+    """Piecewise-linear sigmoid in Q8.8: clamps outside [-4, 4]."""
+    four = 4 << FRAC
+    if x <= -four:
+        return 0
+    if x >= four:
+        return 1 << FRAC
+    # 0.5 + x/8, the classic hard-sigmoid segment.
+    return (1 << (FRAC - 1)) + (x >> 3)
+
+
+def _clip16(x: int) -> int:
+    return max(-(1 << 15), min((1 << 15) - 1, x))
+
+
+def sgd_step(weights: List[int], features: List[int], label: int) -> None:
+    """One fused dot-product + weight update, shared by golden and kernel."""
+    dot = 0
+    for w, f in zip(weights, features):
+        dot += w * f
+    dot >>= FRAC
+    prediction = _sigmoid_q(_clip16(dot))
+    error = (label << FRAC) - prediction
+    for j in range(FEATURES):
+        delta = (LEARNING_RATE * error * features[j]) >> LR_SHIFT
+        weights[j] = _clip16(weights[j] + delta)
+
+
+def sgd_train(samples: List[Tuple[List[int], int]]) -> List[int]:
+    """Golden model: one SGD epoch in Q8.8; returns the weight vector."""
+    weights = [0] * FEATURES
+    for features, label in samples:
+        sgd_step(weights, features, label)
+    return weights
+
+
+def pack_samples(samples: List[Tuple[List[int], int]]) -> bytes:
+    """One 64-byte word per sample: 30 x i16 features, i16 label, pad."""
+    out = bytearray()
+    for features, label in samples:
+        for f in features:
+            out += (f & 0xFFFF).to_bytes(2, "little")
+        out += (label & 0xFFFF).to_bytes(2, "little")
+        out += b"\0\0"
+    return bytes(out)
+
+
+def weights_blob(weights: List[int]) -> bytes:
+    return b"".join((w & 0xFFFF).to_bytes(2, "little")
+                    for w in weights).ljust(64, b"\0")
+
+
+class SpamFilter(Accelerator):
+    """Streaming SGD trainer: one fused dot-product/update per sample."""
+
+    def kernel(self):
+        train_addr = self.regs[REG_TRAIN_ADDR]
+        n_samples = self.regs[REG_N_SAMPLES]
+        out_addr = self.regs[REG_OUT_ADDR]
+        weights = [0] * FEATURES
+        for i in range(n_samples):
+            record = self.dram.read_bytes(train_addr + SAMPLE_BYTES * i,
+                                          SAMPLE_BYTES)
+            features = []
+            for j in range(FEATURES):
+                raw = int.from_bytes(record[2 * j:2 * j + 2], "little")
+                features.append(raw - 0x10000 if raw & 0x8000 else raw)
+            raw_label = int.from_bytes(record[60:62], "little")
+            sgd_step(weights, features, raw_label)
+            yield 2   # pipelined dot-product + update, II ~= 2
+        self.dram.write_bytes(out_addr, weights_blob(weights))
+        yield 1
+
+
+def make():
+    """Factory pair for the registry."""
+    def accelerator_factory(interfaces: Dict) -> SpamFilter:
+        return SpamFilter("spam_filter", interfaces)
+
+    def host_factory(result: dict, seed: int, scale: float = 1.0):
+        rng = random.Random(seed)
+        n_samples = max(8, int(96 * scale))
+        samples = []
+        for _ in range(n_samples):
+            label = rng.randrange(2)
+            base = 40 if label else -40
+            features = [_clip16(base + rng.randrange(-96, 97))
+                        for _ in range(FEATURES)]
+            samples.append((features, label))
+        golden = weights_blob(sgd_train(samples))
+        return standard_host(
+            result,
+            input_blobs=[(TRAIN_BASE, pack_samples(samples))],
+            args={REG_TRAIN_ADDR: TRAIN_BASE, REG_N_SAMPLES: n_samples,
+                  REG_OUT_ADDR: OUT_BASE},
+            output_addr=OUT_BASE, output_len=64, golden=golden)
+
+    return accelerator_factory, host_factory

@@ -1,0 +1,28 @@
+"""Comparison baselines: the two extremes of the record/replay design space.
+
+Cycle-accurate recording (Panopticon/ILA family) and order-less recording
+(DebugGovernor family) bracket Vidi's transaction-deterministic middle
+ground; both are implemented so Table 1's reduction factors and the
+ordering-failure ablations are measured, not asserted.
+"""
+
+from repro.baselines.cycle_accurate import (
+    CycleAccurateRecorder,
+    CycleAccurateReplayer,
+    EnvelopeResult,
+    cycle_accurate_trace_bytes,
+    input_signal_bits,
+    panopticon_envelope,
+)
+from repro.baselines.orderless import OrderlessRecorder, OrderlessReplayer
+
+__all__ = [
+    "CycleAccurateRecorder",
+    "CycleAccurateReplayer",
+    "EnvelopeResult",
+    "OrderlessRecorder",
+    "OrderlessReplayer",
+    "cycle_accurate_trace_bytes",
+    "input_signal_bits",
+    "panopticon_envelope",
+]

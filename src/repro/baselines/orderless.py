@@ -1,0 +1,104 @@
+"""Order-less record/replay baseline (DebugGovernor-style).
+
+The other end of the design space §1 describes: record the *contents* sent
+on each channel independently, with no ordering information across
+channels. Recording is near-free, but replay can only re-inject each
+channel's payload stream at its own pace — any application whose behaviour
+depends on cross-channel ordering (every application in the paper's
+evaluation) breaks.
+
+:class:`OrderlessRecorder` taps monitored channels and stores per-channel
+content sequences; :class:`OrderlessReplayer` replays each input channel as
+fast as the receiver accepts, ignoring inter-channel order, and accepts
+output transactions unconditionally. The A2 ablation shows this reordering
+e.g. a control-register write ahead of the data it was supposed to follow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.channels.handshake import Channel
+from repro.sim.module import Module
+
+
+class OrderlessRecorder(Module):
+    """Per-channel content capture with no cross-channel ordering."""
+
+    has_comb = False
+
+    def __init__(self, name: str, channels: Sequence[Channel]):
+        super().__init__(name)
+        self.channels = list(channels)
+        self.streams: Dict[str, List[bytes]] = {c.name: [] for c in self.channels}
+
+    def seq(self) -> None:
+        for channel in self.channels:
+            if channel.fired:
+                self.streams[channel.name].append(channel.payload_bytes())
+
+    @property
+    def trace_bytes(self) -> int:
+        """Size of the per-channel content streams."""
+        return sum(len(b) for stream in self.streams.values() for b in stream)
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        for stream in self.streams.values():
+            stream.clear()
+
+
+class OrderlessReplayer(Module):
+    """Replays channel streams independently — no happens-before enforcement.
+
+    Input channels: present the next recorded payload as soon as the
+    previous one is accepted. Output channels: READY always high, payloads
+    collected for comparison.
+    """
+
+    def __init__(self, name: str, channels: Sequence[Channel],
+                 streams: Dict[str, List[bytes]]):
+        super().__init__(name)
+        self.channels = list(channels)
+        self.streams = {name: list(items) for name, items in streams.items()}
+        self._cursor: Dict[str, int] = {c.name: 0 for c in self.channels}
+        self.collected: Dict[str, List[bytes]] = {
+            c.name: [] for c in self.channels if c.direction == "out"}
+
+    @property
+    def done(self) -> bool:
+        """All recorded input payloads delivered."""
+        return all(
+            self._cursor[c.name] >= len(self.streams.get(c.name, []))
+            for c in self.channels if c.direction == "in"
+        )
+
+    def comb(self) -> None:
+        for channel in self.channels:
+            if channel.direction == "in":
+                cursor = self._cursor[channel.name]
+                stream = self.streams.get(channel.name, [])
+                if cursor < len(stream):
+                    channel.valid.drive(1)
+                    channel.payload.drive(channel.spec.from_bytes(stream[cursor]))
+                else:
+                    channel.valid.drive(0)
+                    channel.payload.drive(0)
+            else:
+                channel.ready.drive(1)
+
+    def seq(self) -> None:
+        for channel in self.channels:
+            if not channel.fired:
+                continue
+            if channel.direction == "in":
+                self._cursor[channel.name] += 1
+            else:
+                self.collected[channel.name].append(channel.payload_bytes())
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        for name in self._cursor:
+            self._cursor[name] = 0
+        for stream in self.collected.values():
+            stream.clear()

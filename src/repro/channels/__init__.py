@@ -1,0 +1,61 @@
+"""Communication-protocol substrate: handshakes, payloads and AXI bundles.
+
+The paper's observation #1 — that FPGA applications communicate through
+well-defined VALID/READY transactions — is embodied here. Everything Vidi
+touches (monitors, replayers, mutation, the case-study components) operates
+on the :class:`Channel` abstraction defined in this subpackage.
+"""
+
+from repro.channels.atop_filter import AtopFilter
+from repro.channels.axi import (
+    AXI4_SPECS,
+    AXI_LITE_SPECS,
+    CHANNEL_ORDER,
+    AxiInterface,
+    axi4_interface,
+    axi_lite_interface,
+    total_payload_width,
+)
+from repro.channels.axi_stream import (
+    AXIS_SPEC,
+    AxisInterface,
+    axis_interface,
+    pack_packet,
+    unpack_packets,
+)
+from repro.channels.interconnect import AxiInterconnect
+from repro.channels.handshake import (
+    Channel,
+    ChannelSink,
+    ChannelSource,
+    PassThrough,
+    always_ready,
+)
+from repro.channels.payload import Field, PayloadSpec
+from repro.channels.protocol_checker import ProtocolChecker, Violation
+
+__all__ = [
+    "AXI4_SPECS",
+    "AXIS_SPEC",
+    "AXI_LITE_SPECS",
+    "AtopFilter",
+    "AxiInterconnect",
+    "AxiInterface",
+    "AxisInterface",
+    "CHANNEL_ORDER",
+    "Channel",
+    "ChannelSink",
+    "ChannelSource",
+    "Field",
+    "PassThrough",
+    "PayloadSpec",
+    "ProtocolChecker",
+    "Violation",
+    "always_ready",
+    "axi4_interface",
+    "axi_lite_interface",
+    "axis_interface",
+    "pack_packet",
+    "total_payload_width",
+    "unpack_packets",
+]

@@ -1,0 +1,89 @@
+"""AXI-Stream: the single-channel streaming protocol (§2, observation #1).
+
+Streaming designs (SmartNIC offloads like hXDP, video pipelines) move data
+over AXI-Stream: one VALID/READY channel carrying ``TDATA`` with a byte
+qualifier ``TKEEP`` and a packet delimiter ``TLAST``. It is the interface
+family DebugGovernor [63] records — single channel, no cross-channel
+ordering — which makes it the perfect foil for the order-less baseline:
+order-less replay *works* on a lone stream and breaks as soon as a second
+channel (a control bus) matters.
+
+An :class:`AxisInterface` is a one-channel bundle with the same surface as
+:class:`~repro.channels.axi.AxiInterface` (``channels`` dict,
+``channel_list()``, ``payload_width``), so the Vidi shim monitors it with
+zero special cases — the paper's "13 lines per interface" claim in action.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.channels.handshake import Channel
+from repro.channels.payload import Field, PayloadSpec
+from repro.sim.module import Module
+
+AXIS_SPEC = PayloadSpec([
+    Field("data", 512),
+    Field("keep", 64),
+    Field("last", 1),
+])
+"""A 512-bit stream beat: data + byte qualifiers + packet delimiter (577b)."""
+
+
+class AxisInterface(Module):
+    """A single AXI-Stream channel presented with the AXI-bundle surface."""
+
+    has_comb = False
+
+    def __init__(self, name: str, direction: str = "in"):
+        super().__init__(name)
+        self.t = Channel(f"{name}.t", AXIS_SPEC, direction=direction)
+        self.channels: Dict[str, Channel] = {"t": self.t}
+        self.submodule(self.t)
+
+    def channel_list(self) -> List[Channel]:
+        return [self.t]
+
+    @property
+    def payload_width(self) -> int:
+        return AXIS_SPEC.width
+
+
+def axis_interface(name: str, manager: str = "cpu") -> AxisInterface:
+    """Factory matching the AXI interface signature.
+
+    ``manager="cpu"`` means the environment sends (an ingress stream, an
+    input to the FPGA); ``manager="fpga"`` means the design sends (egress).
+    """
+    direction = "in" if manager == "cpu" else "out"
+    return AxisInterface(name, direction=direction)
+
+
+def pack_packet(payload: bytes) -> List[Dict[str, int]]:
+    """Split a byte packet into AXIS beats (data/keep/last field dicts)."""
+    beats: List[Dict[str, int]] = []
+    for offset in range(0, max(len(payload), 1), 64):
+        chunk = payload[offset:offset + 64]
+        beats.append({
+            "data": int.from_bytes(chunk.ljust(64, b"\0"), "little"),
+            "keep": (1 << len(chunk)) - 1,
+            "last": 0,
+        })
+    beats[-1]["last"] = 1
+    return beats
+
+
+def unpack_packets(beats: List[Dict[str, int]]) -> List[bytes]:
+    """Reassemble byte packets from a sequence of AXIS beat dicts."""
+    packets: List[bytes] = []
+    current = bytearray()
+    for beat in beats:
+        data = beat["data"].to_bytes(64, "little")
+        keep = beat["keep"]
+        for lane in range(64):
+            if (keep >> lane) & 1:
+                current.append(data[lane])
+        if beat["last"]:
+            packets.append(bytes(current))
+            current = bytearray()
+    return packets

@@ -1,0 +1,180 @@
+"""VALID/READY handshaked channels and endpoint helpers.
+
+A :class:`Channel` is the wire bundle of Fig. 1 in the paper: ``valid`` and
+``payload`` driven by the sender, ``ready`` driven by the receiver. A
+*transaction* starts on the first cycle VALID is observed high after the
+previous transaction ended and ends on the cycle both VALID and READY are
+high. Per the protocol, the sender must hold VALID and the payload stable
+until the handshake completes.
+
+:class:`ChannelSource` and :class:`ChannelSink` are queue-backed endpoint
+modules used by host models, accelerators and tests. The source never gates
+VALID on READY (AXI rule); the sink's READY policy is pluggable so tests can
+exercise arbitrary stall patterns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.channels.payload import PayloadSpec
+from repro.sim.module import Module
+
+
+class Channel(Module):
+    """A unidirectional VALID/READY channel carrying a structured payload."""
+
+    has_comb = False  # pure wires; no behaviour of its own
+
+    def __init__(self, name: str, spec: PayloadSpec, direction: str = "in"):
+        super().__init__(name)
+        if direction not in ("in", "out"):
+            raise ValueError(f"channel direction must be 'in' or 'out', got {direction!r}")
+        self.spec = spec
+        self.direction = direction  # relative to the FPGA program ("in" = FPGA receives)
+        self.valid = self.signal("valid")
+        self.ready = self.signal("ready")
+        self.payload = self.signal("payload", width=spec.width)
+
+    # ------------------------------------------------------------------
+    @property
+    def fired(self) -> bool:
+        """True when a handshake completes this cycle (transaction end event)."""
+        return bool(self.valid.value and self.ready.value)
+
+    @property
+    def width(self) -> int:
+        """Total monitored width: payload plus the two control signals."""
+        return self.spec.width + 2
+
+    def payload_dict(self) -> Dict[str, int]:
+        """The current payload decomposed into named fields."""
+        return self.spec.unpack(self.payload.value)
+
+    def payload_bytes(self) -> bytes:
+        """The current payload serialized as trace content."""
+        return self.spec.to_bytes(self.payload.value)
+
+
+class PassThrough(Module):
+    """Zero-latency combinational wire between two channels.
+
+    Used when Vidi is transparent (configuration R1): the upstream channel's
+    sender-side signals are forwarded downstream and READY flows back, adding
+    no cycles and no behaviour — the baseline against which recording
+    overhead is measured.
+    """
+
+    def __init__(self, name: str, up: Channel, down: Channel):
+        super().__init__(name)
+        self.up = up
+        self.down = down
+
+    def comb(self) -> None:
+        self.down.valid.drive(self.up.valid.value)
+        self.down.payload.drive(self.up.payload.value)
+        self.up.ready.drive(self.down.ready.value)
+
+
+ReadyPolicy = Callable[[int, int], bool]
+"""``policy(cycle, received_count) -> bool``: should READY be high next cycle?
+
+Policies are evaluated exactly once per cycle (in the sink's sequential
+process) and the decision is registered, so impure policies — random stall
+storms, schedules — are safe and deterministic.
+"""
+
+
+def always_ready(_cycle: int, _count: int) -> bool:
+    """The trivial sink policy: accept every cycle."""
+    return True
+
+
+class ChannelSource(Module):
+    """Drives the sender side of a channel from a Python-level queue.
+
+    ``send(payload_dict)`` enqueues a transaction; the source presents it on
+    the wires, holds VALID/payload stable until the handshake fires, then
+    moves to the next queued item (back-to-back, no idle bubble).
+    """
+
+    def __init__(self, name: str, channel: Channel):
+        super().__init__(name)
+        self.channel = channel
+        self.queue: Deque[int] = deque()
+        self._current: Optional[int] = None
+        self.sent_count = 0
+
+    def send(self, payload: Dict[str, int]) -> None:
+        """Queue one transaction for transmission."""
+        self.queue.append(self.channel.spec.pack(payload))
+
+    def send_packed(self, word: int) -> None:
+        """Queue one transaction given as an already-packed word."""
+        self.queue.append(word)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return self._current is None and not self.queue
+
+    def comb(self) -> None:
+        if self._current is None and self.queue:
+            # Present a freshly queued item in the same cycle it was queued;
+            # the commitment to it is latched in seq().
+            self._current = self.queue.popleft()
+        if self._current is not None:
+            self.channel.valid.drive(1)
+            self.channel.payload.drive(self._current)
+        else:
+            self.channel.valid.drive(0)
+            self.channel.payload.drive(0)
+
+    def seq(self) -> None:
+        if self._current is not None and self.channel.ready.value:
+            self._current = None
+            self.sent_count += 1
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.queue.clear()
+        self._current = None
+        self.sent_count = 0
+
+
+class ChannelSink(Module):
+    """Consumes a channel, collecting payloads, with a pluggable READY policy.
+
+    READY is a registered output: the policy is consulted once per cycle and
+    its verdict drives READY on the *next* cycle. The sink therefore starts
+    with READY low for one cycle after reset.
+    """
+
+    def __init__(self, name: str, channel: Channel,
+                 policy: ReadyPolicy = always_ready):
+        super().__init__(name)
+        self.channel = channel
+        self.policy = policy
+        self.received: List[int] = []
+        self._ready_now = 0
+        self._cycle = 0
+
+    def comb(self) -> None:
+        self.channel.ready.drive(self._ready_now)
+
+    def seq(self) -> None:
+        if self.channel.fired:
+            self.received.append(self.channel.payload.value)
+        self._cycle += 1
+        self._ready_now = 1 if self.policy(self._cycle, len(self.received)) else 0
+
+    def received_dicts(self) -> List[Dict[str, int]]:
+        """All received payloads decomposed into field dicts."""
+        return [self.channel.spec.unpack(w) for w in self.received]
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.received.clear()
+        self._ready_now = 0
+        self._cycle = 0

@@ -1,0 +1,89 @@
+"""Handshake-legality checker — the analogue of Xilinx's AXI Protocol Checker.
+
+Watches a channel and verifies, cycle by cycle, the two VALID/READY rules
+Vidi's correctness depends on (§2.1):
+
+* once VALID is asserted it must stay asserted until the handshake fires
+  (no early retraction);
+* the payload must be stable from the cycle VALID is asserted through the
+  cycle the handshake fires.
+
+Violations either raise :class:`~repro.errors.ProtocolViolationError`
+immediately (``strict=True``) or accumulate in :attr:`violations` for later
+inspection (the mode the monitor formal-property tests use).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.channels.handshake import Channel
+from repro.errors import ProtocolViolationError
+from repro.sim.module import Module
+
+
+class Violation(NamedTuple):
+    """One recorded protocol violation."""
+
+    cycle: int
+    channel: str
+    rule: str
+    detail: str
+
+
+class ProtocolChecker(Module):
+    """Passive observer asserting VALID/READY protocol legality on a channel."""
+
+    has_comb = False
+
+    def __init__(self, name: str, channel: Channel, strict: bool = True):
+        super().__init__(name)
+        self.channel = channel
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self.observed_transactions = 0
+        self._pending = False       # VALID seen, handshake not yet fired
+        self._pending_payload = 0
+        self._cycle = 0
+
+    def _report(self, rule: str, detail: str) -> None:
+        violation = Violation(self._cycle, self.channel.name, rule, detail)
+        self.violations.append(violation)
+        if self.strict:
+            raise ProtocolViolationError(
+                f"{violation.channel} @cycle {violation.cycle}: {rule} ({detail})"
+            )
+
+    def seq(self) -> None:
+        channel = self.channel
+        valid = bool(channel.valid.value)
+        fired = channel.fired
+        if self._pending:
+            if not valid:
+                self._report(
+                    "valid-retracted",
+                    "VALID deasserted before READY completed the handshake",
+                )
+                self._pending = False
+            elif channel.payload.value != self._pending_payload:
+                self._report(
+                    "payload-unstable",
+                    f"payload changed {self._pending_payload:#x} -> "
+                    f"{channel.payload.value:#x} during a pending handshake",
+                )
+                self._pending_payload = channel.payload.value
+        if valid and not self._pending:
+            self._pending = True
+            self._pending_payload = channel.payload.value
+        if fired:
+            self._pending = False
+            self.observed_transactions += 1
+        self._cycle += 1
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.violations.clear()
+        self.observed_transactions = 0
+        self._pending = False
+        self._pending_payload = 0
+        self._cycle = 0

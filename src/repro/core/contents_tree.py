@@ -1,0 +1,79 @@
+"""Contents compaction: packing per-channel contents into a cycle packet.
+
+The paper's trace encoder uses a binary reduction tree in hardware to
+compact the ``Content`` fields of all channel packets that carry one into a
+single dense ``Contents`` field, ordered by channel index (§3.2, Fig. 5).
+The tree exists because hardware must do the packing combinationally in one
+cycle; the *result* is simply the concatenation of present contents in
+ascending channel order.
+
+This module mirrors the tree structure (pairwise merging over a balanced
+binary tree, as the RTL would) so the packing order is documented and
+testable, while producing exactly that canonical dense byte string. The
+decoder reverses it using the per-channel content lengths from the
+:class:`~repro.core.events.ChannelTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.events import ChannelTable
+from repro.errors import TraceFormatError
+
+
+def pack_contents(entries: Iterable[Tuple[int, bytes]]) -> bytes:
+    """Compact ``(channel_index, content)`` entries into the Contents field.
+
+    Implemented as the binary reduction tree the hardware encoder uses:
+    leaves are per-channel contents (empty for channels without one) and
+    each tree level concatenates sibling pairs, keeping lower channel
+    indices first. The result equals dense concatenation in index order.
+    """
+    items = sorted(entries, key=lambda e: e[0])
+    indices = [i for i, _ in items]
+    if len(set(indices)) != len(indices):
+        raise TraceFormatError(f"duplicate channel contents in cycle: {indices}")
+    if not items:
+        return b""
+    # Build the leaf layer of the reduction tree.
+    width = max(indices) + 1
+    level: List[bytes] = [b""] * width
+    for index, content in items:
+        level[index] = content
+    # Pairwise reduction, exactly as a log-depth hardware tree would merge.
+    while len(level) > 1:
+        merged: List[bytes] = []
+        for i in range(0, len(level), 2):
+            left = level[i]
+            right = level[i + 1] if i + 1 < len(level) else b""
+            merged.append(left + right)
+        level = merged
+    return level[0]
+
+
+def unpack_contents(blob: bytes, started: Sequence[int],
+                    table: ChannelTable) -> Dict[int, bytes]:
+    """Split a Contents field back into per-channel contents.
+
+    ``started`` lists the channel indices whose start bit was set, in any
+    order; contents were packed in ascending index order with each channel's
+    fixed content length taken from the table.
+    """
+    out: Dict[int, bytes] = {}
+    offset = 0
+    for index in sorted(started):
+        length = table[index].content_bytes
+        piece = blob[offset:offset + length]
+        if len(piece) != length:
+            raise TraceFormatError(
+                f"contents field truncated: channel {index} needs {length} "
+                f"bytes at offset {offset}, got {len(piece)}"
+            )
+        out[index] = bytes(piece)
+        offset += length
+    if offset != len(blob):
+        raise TraceFormatError(
+            f"contents field has {len(blob) - offset} trailing bytes"
+        )
+    return out

@@ -1,0 +1,134 @@
+"""Transaction events, channel metadata, and happens-before utilities.
+
+Vidi's unit of recording is the *transaction event*: the start or the end of
+a handshake on one monitored channel (§2.2). The trace does not store
+wall-clock or cycle timestamps; ordering is positional. This module defines
+the metadata table that gives every monitored channel a stable index (the
+bit position it occupies in the trace's ``Starts``/``Ends`` bitvectors) plus
+the event record used by analysis tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ChannelInfo:
+    """Static description of one monitored channel."""
+
+    index: int
+    name: str
+    direction: str       # 'in' = FPGA program receives, 'out' = it sends
+    content_bytes: int   # serialized payload length
+    payload_bits: int    # raw payload width (resource model / Fig. 7 x-axis)
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out"):
+            raise ConfigError(f"channel {self.name!r}: bad direction {self.direction!r}")
+
+
+class ChannelTable:
+    """The ordered set of channels a Vidi deployment monitors.
+
+    The order fixes each channel's bit position in cycle-packet bitvectors
+    and its entry in every vector clock; record and replay must use an
+    identical table (it is serialized into the trace header).
+    """
+
+    def __init__(self, channels: Sequence[ChannelInfo]):
+        if not channels:
+            raise ConfigError("channel table must contain at least one channel")
+        for i, info in enumerate(channels):
+            if info.index != i:
+                raise ConfigError(
+                    f"channel {info.name!r} has index {info.index}, expected {i}"
+                )
+        names = [c.name for c in channels]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate channel names: {names}")
+        self.channels: Tuple[ChannelInfo, ...] = tuple(channels)
+        self.n = len(self.channels)
+        self.bitvec_bytes = (self.n + 7) // 8
+        self.input_indices = tuple(
+            c.index for c in self.channels if c.direction == "in")
+        self.output_indices = tuple(
+            c.index for c in self.channels if c.direction == "out")
+        self._by_name: Dict[str, ChannelInfo] = {c.name: c for c in self.channels}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, index: int) -> ChannelInfo:
+        return self.channels[index]
+
+    def by_name(self, name: str) -> ChannelInfo:
+        """Look a channel up by its full name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(f"unknown channel {name!r}") from None
+
+    def is_input(self, index: int) -> bool:
+        """True for channels on which the FPGA program is the receiver."""
+        return self.channels[index].direction == "in"
+
+    # ------------------------------------------------------------------
+    # serialization (trace header)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> List[dict]:
+        """JSON-compatible description, stored in the trace header."""
+        return [
+            {
+                "index": c.index,
+                "name": c.name,
+                "direction": c.direction,
+                "content_bytes": c.content_bytes,
+                "payload_bits": c.payload_bits,
+            }
+            for c in self.channels
+        ]
+
+    @classmethod
+    def from_dict(cls, data: Sequence[dict]) -> "ChannelTable":
+        """Rebuild a table from its trace-header description."""
+        return cls([ChannelInfo(**entry) for entry in data])
+
+
+@dataclass(frozen=True)
+class TransactionEvent:
+    """One start/end event, as reconstructed by analysis tooling.
+
+    ``seq_no`` counts prior events of the same kind on the same channel;
+    ``vclock`` (when attached) holds, per channel, the number of *end*
+    events that happened strictly before this event — the Lamport-style
+    timestamp divergence analysis compares.
+    """
+
+    kind: str                # 'start' or 'end'
+    channel: int
+    seq_no: int
+    content: Optional[bytes] = None
+    vclock: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("start", "end"):
+            raise ConfigError(f"bad event kind {self.kind!r}")
+
+
+def happens_before(a: TransactionEvent, b: TransactionEvent) -> bool:
+    """Whether the recorded partial order places ``a`` strictly before ``b``.
+
+    Both events must carry vector clocks. ``a`` happens before ``b`` when
+    every component of ``a``'s clock is <= ``b``'s and the clocks differ,
+    per the ordering the channel replayers enforce (§3.5).
+    """
+    if a.vclock is None or b.vclock is None:
+        raise ConfigError("happens_before requires events with vector clocks")
+    if len(a.vclock) != len(b.vclock):
+        raise ConfigError("vector clocks of different deployments compared")
+    return all(x <= y for x, y in zip(a.vclock, b.vclock)) and a.vclock != b.vclock

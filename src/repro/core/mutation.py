@@ -1,0 +1,145 @@
+"""Trace mutation: reorder transaction events in a recorded trace (§4.2, §5.3).
+
+The testing case study captures a production-like trace, then *mutates* it
+to explore orderings the protocol allows but the original environment never
+produced — e.g. completing a DMA write-data beat before its write-address
+transaction. Replaying the mutated trace drives the design into the corner
+case deterministically.
+
+The mutator works on decoded cycle packets. Moving an end event earlier
+splits it out of its packet and inserts it as a new packet immediately
+before the target event's packet; the vector clocks the replayers derive
+from the new packet sequence then enforce the mutated order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.events import ChannelTable
+from repro.core.packets import CyclePacket
+from repro.core.trace_file import TraceFile
+from repro.errors import ConfigError, TraceFormatError
+
+
+@dataclass(frozen=True)
+class EventRef:
+    """Names one transaction event in a trace: kind, channel, occurrence."""
+
+    kind: str        # 'start' or 'end'
+    channel: str     # full channel name
+    occurrence: int  # 0-based count of that (kind, channel) pair
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("start", "end"):
+            raise ConfigError(f"bad event kind {self.kind!r}")
+
+
+class TraceMutator:
+    """Edits the event structure of a recorded trace."""
+
+    def __init__(self, trace: TraceFile):
+        self.trace = trace
+        self.table: ChannelTable = trace.table
+        self.packets: List[CyclePacket] = trace.packets()
+
+    # ------------------------------------------------------------------
+    def _locate(self, ref: EventRef) -> Tuple[int, int]:
+        """Return (packet index, channel index) of the referenced event."""
+        channel_index = self.table.by_name(ref.channel).index
+        seen = 0
+        for packet_index, packet in enumerate(self.packets):
+            mask = packet.starts if ref.kind == "start" else packet.ends
+            if (mask >> channel_index) & 1:
+                if seen == ref.occurrence:
+                    return packet_index, channel_index
+                seen += 1
+        raise TraceFormatError(
+            f"event {ref.kind} #{ref.occurrence} on {ref.channel} not found "
+            f"(only {seen} occurrences)"
+        )
+
+    # ------------------------------------------------------------------
+    def move_end_before(self, moved: EventRef, anchor: EventRef) -> None:
+        """Reorder ``moved`` (an end event) to precede ``anchor``.
+
+        ``moved`` is removed from its original cycle packet and re-inserted
+        as a standalone packet immediately before ``anchor``'s packet. The
+        anchor must currently precede or share a packet with the moved
+        event; otherwise the move would be a no-op.
+        """
+        if moved.kind != "end":
+            raise ConfigError("only end events can be reordered (starts are "
+                              "recreated relative to ends during replay)")
+        moved_pos, moved_ch = self._locate(moved)
+        anchor_pos, _anchor_ch = self._locate(anchor)
+        if moved_pos < anchor_pos:
+            return  # already strictly before the anchor
+        source = self.packets[moved_pos]
+        source.ends &= ~(1 << moved_ch)
+        content = source.validation.pop(moved_ch, None)
+        fresh = CyclePacket(ends=1 << moved_ch)
+        if content is not None:
+            fresh.validation[moved_ch] = content
+        if source.is_empty:
+            self.packets.pop(moved_pos)
+            if moved_pos < anchor_pos:
+                anchor_pos -= 1
+        self.packets.insert(anchor_pos, fresh)
+
+    def drop_event(self, ref: EventRef) -> None:
+        """Delete one event from the trace (failure-injection testing)."""
+        packet_index, channel_index = self._locate(ref)
+        packet = self.packets[packet_index]
+        if ref.kind == "start":
+            packet.starts &= ~(1 << channel_index)
+            packet.contents.pop(channel_index, None)
+        else:
+            packet.ends &= ~(1 << channel_index)
+            packet.validation.pop(channel_index, None)
+        if packet.is_empty:
+            self.packets.pop(packet_index)
+
+    def rewrite_start_content(self, ref: EventRef, content: bytes) -> None:
+        """Replace the recorded content of an input transaction (fuzzing)."""
+        if ref.kind != "start":
+            raise ConfigError("content rides on start events")
+        packet_index, channel_index = self._locate(ref)
+        info = self.table[channel_index]
+        if len(content) != info.content_bytes:
+            raise ConfigError(
+                f"content must be {info.content_bytes} bytes for {info.name}")
+        self.packets[packet_index].contents[channel_index] = content
+
+    # ------------------------------------------------------------------
+    def validate(self) -> Optional[str]:
+        """Sanity-check event structure; returns a message or None if OK.
+
+        For input channels the trace carries both starts and ends, so each
+        prefix must satisfy ``ends <= starts`` and each start must follow
+        the previous end (one transaction in flight per channel).
+        """
+        for index in self.table.input_indices:
+            starts = ends = 0
+            for packet in self.packets:
+                if (packet.starts >> index) & 1:
+                    if starts > ends:
+                        return (f"{self.table[index].name}: overlapping "
+                                f"transactions after start #{starts}")
+                    starts += 1
+                if (packet.ends >> index) & 1:
+                    ends += 1
+                    if ends > starts:
+                        return (f"{self.table[index].name}: end #{ends - 1} "
+                                f"precedes its start")
+        return None
+
+    def build(self, metadata: Optional[dict] = None) -> TraceFile:
+        """Serialize the mutated packets into a new trace."""
+        meta = dict(self.trace.metadata)
+        meta.update(metadata or {})
+        meta["mutated"] = True
+        return TraceFile.from_packets(
+            self.table, self.packets,
+            with_validation=self.trace.with_validation, metadata=meta)

@@ -1,0 +1,148 @@
+"""Channel packets and cycle packets — the on-the-wire trace format (§3.1–3.2).
+
+A *channel packet* is what one channel monitor reports for one cycle:
+whether a handshake started, the content (for starts on input channels, or
+for ends on output channels when output validation is enabled), and whether
+a handshake ended.
+
+A *cycle packet* aggregates all channel packets of one clock cycle:
+
+* ``Starts`` — bitvector over all monitored channels (bits set only for
+  input channels) marking handshake starts this cycle;
+* ``Ends``   — bitvector over all monitored channels marking handshake ends
+  this cycle (inputs *and* outputs — this is what carries the happens-before
+  information transaction determinism needs);
+* ``Contents`` — the binary-tree-compacted contents of starting input
+  channels, followed (when output validation is on) by the contents of
+  ending output channels.
+
+The serialized trace is the concatenation of serialized cycle packets for
+*eventful* cycles only; no timestamps are stored (see §6 for why).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.contents_tree import pack_contents, unpack_contents
+from repro.core.events import ChannelTable
+from repro.errors import TraceFormatError
+
+
+@dataclass
+class ChannelPacket:
+    """One channel monitor's report for one cycle."""
+
+    start: bool = False
+    end: bool = False
+    content: bytes | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.start or self.end)
+
+
+def iter_bits(mask: int, n: int) -> List[int]:
+    """Indices of set bits in ``mask`` among the low ``n`` positions, ascending."""
+    out = []
+    index = 0
+    while mask:
+        if mask & 1:
+            out.append(index)
+        mask >>= 1
+        index += 1
+        if index > n:
+            raise TraceFormatError(f"bitvector has bits above channel count {n}")
+    return out
+
+
+@dataclass
+class CyclePacket:
+    """All transaction events of one clock cycle, plus contents."""
+
+    starts: int = 0                                   # bitmask over channels
+    ends: int = 0                                     # bitmask over channels
+    contents: Dict[int, bytes] = field(default_factory=dict)      # input starts
+    validation: Dict[int, bytes] = field(default_factory=dict)    # output ends
+
+    @property
+    def is_empty(self) -> bool:
+        return self.starts == 0 and self.ends == 0
+
+    # ------------------------------------------------------------------
+    def channel_packet(self, index: int) -> ChannelPacket:
+        """Decompose this cycle packet into one channel's packet (§3.4)."""
+        return ChannelPacket(
+            start=bool((self.starts >> index) & 1),
+            end=bool((self.ends >> index) & 1),
+            content=self.contents.get(index),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def serialize(self, table: ChannelTable, with_validation: bool) -> bytes:
+        """Encode as ``[Starts][Ends][Contents]`` with fixed-width bitvectors."""
+        nbytes = table.bitvec_bytes
+        parts = [
+            self.starts.to_bytes(nbytes, "little"),
+            self.ends.to_bytes(nbytes, "little"),
+            pack_contents(self.contents.items()),
+        ]
+        if with_validation:
+            parts.append(pack_contents(self.validation.items()))
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, blob: memoryview, offset: int, table: ChannelTable,
+                    with_validation: bool) -> Tuple["CyclePacket", int]:
+        """Decode one packet at ``offset``; returns (packet, next offset)."""
+        nbytes = table.bitvec_bytes
+        if offset + 2 * nbytes > len(blob):
+            raise TraceFormatError("trace truncated inside a cycle-packet header")
+        starts = int.from_bytes(blob[offset:offset + nbytes], "little")
+        ends = int.from_bytes(blob[offset + nbytes:offset + 2 * nbytes], "little")
+        cursor = offset + 2 * nbytes
+        started = iter_bits(starts, table.n)
+        for index in started:
+            if not table.is_input(index):
+                raise TraceFormatError(
+                    f"start bit set for output channel {table[index].name}"
+                )
+        content_len = sum(table[i].content_bytes for i in started)
+        contents = unpack_contents(bytes(blob[cursor:cursor + content_len]),
+                                   started, table)
+        cursor += content_len
+        validation: Dict[int, bytes] = {}
+        if with_validation:
+            ended_outputs = [i for i in iter_bits(ends, table.n)
+                             if not table.is_input(i)]
+            val_len = sum(table[i].content_bytes for i in ended_outputs)
+            validation = unpack_contents(bytes(blob[cursor:cursor + val_len]),
+                                         ended_outputs, table)
+            cursor += val_len
+        packet = cls(starts=starts, ends=ends, contents=contents,
+                     validation=validation)
+        if packet.is_empty:
+            raise TraceFormatError(f"empty cycle packet at offset {offset}")
+        return packet, cursor
+
+
+def serialize_packets(packets: List[CyclePacket], table: ChannelTable,
+                      with_validation: bool) -> bytes:
+    """Concatenate serialized cycle packets (the trace body)."""
+    return b"".join(p.serialize(table, with_validation) for p in packets)
+
+
+def deserialize_packets(blob: bytes, table: ChannelTable,
+                        with_validation: bool) -> List[CyclePacket]:
+    """Parse a trace body back into its cycle packets."""
+    view = memoryview(blob)
+    packets: List[CyclePacket] = []
+    offset = 0
+    while offset < len(view):
+        packet, offset = CyclePacket.deserialize(view, offset, table,
+                                                 with_validation)
+        packets.append(packet)
+    return packets

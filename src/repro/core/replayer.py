@@ -1,0 +1,151 @@
+"""Channel replayers and their vector-clock coordination (§3.5).
+
+During replay every monitored channel gets a replayer:
+
+* an **input replayer** is the channel's sender: it recreates each recorded
+  input transaction — same content, and started only once every recorded
+  happens-before prerequisite (``T_current >= T_expected``) is satisfied;
+* an **output replayer** is the channel's receiver: it controls when output
+  transactions may *end* by granting READY one recorded end at a time,
+  again gated on the vector clocks.
+
+``T_expected`` accumulates the ``Ends`` bitvectors of consumed trace
+elements; ``T_current`` counts transactions that actually completed, shared
+through a :class:`ReplayCoordinator` (the broadcast bus of the paper's
+design). Completions become visible to other replayers at the next cycle
+boundary, like the hardware's one-cycle broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.channels.handshake import Channel
+from repro.core.decoder import ReplayElement
+from repro.core.vector_clock import VectorClock
+from repro.errors import ReplayError
+from repro.sim.module import Module
+
+
+class ReplayCoordinator:
+    """Shared ``T_current``: completed-transaction counts per channel."""
+
+    def __init__(self, n_channels: int):
+        self.current = VectorClock(n_channels)
+        self.version = 0  # bumped on every completion; lets replayers cache
+
+    def complete(self, index: int) -> None:
+        """Broadcast that one more transaction finished on ``index``."""
+        self.current.increment(index)
+        self.version += 1
+
+
+class ChannelReplayer(Module):
+    """Replays one channel's recorded transaction events."""
+
+    def __init__(self, name: str, index: int, channel: Channel,
+                 coordinator: ReplayCoordinator, direction: str,
+                 feed: List[ReplayElement]):
+        super().__init__(name)
+        if direction not in ("in", "out"):
+            raise ValueError(f"replayer direction must be 'in'/'out', got {direction!r}")
+        self.index = index
+        self.channel = channel
+        self.coordinator = coordinator
+        self.direction = direction
+        self.feed = feed
+        self.position = 0
+        self.t_expected = VectorClock(len(coordinator.current))
+        # Input-side sender state.
+        self._pending_contents: List[int] = []
+        self._current: Optional[int] = None
+        # Output-side receiver state.
+        self._ready_credits = 0
+        self.replayed_transactions = 0
+        self.validation_contents: List[bytes] = []
+        self._satisfied_version = -1  # cache key for the vector comparison
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """All trace elements consumed and nothing left in flight."""
+        if self.position < len(self.feed):
+            return False
+        if self.direction == "in":
+            return self._current is None and not self._pending_contents
+        return self._ready_credits == 0
+
+    # ------------------------------------------------------------------
+    def comb(self) -> None:
+        channel = self.channel
+        if self.direction == "in":
+            if self._current is None and self._pending_contents:
+                self._current = self._pending_contents.pop(0)
+            if self._current is not None:
+                channel.valid.drive(1)
+                channel.payload.drive(self._current)
+            else:
+                channel.valid.drive(0)
+                channel.payload.drive(0)
+        else:
+            channel.ready.drive(1 if self._ready_credits > 0 else 0)
+
+    def seq(self) -> None:
+        channel = self.channel
+        # 1. Observe actual completion on our channel and broadcast it.
+        if channel.fired:
+            if self.direction == "in":
+                self._current = None
+            else:
+                self._ready_credits -= 1
+                if self._ready_credits < 0:
+                    raise ReplayError(
+                        f"{self.name}: output transaction completed without "
+                        "a replay credit"
+                    )
+                self.validation_contents.append(channel.payload_bytes())
+            self.replayed_transactions += 1
+            self.coordinator.complete(self.index)
+        # 2. Consume as many trace elements as the vector clocks allow.
+        feed = self.feed
+        while self.position < len(feed):
+            element = feed[self.position]
+            needs_action = (element.start and self.direction == "in") or (
+                element.end and self.direction == "out")
+            if needs_action:
+                if not self._clocks_satisfied():
+                    break
+                if element.start and self.direction == "in":
+                    if element.content is None:
+                        raise ReplayError(
+                            f"{self.name}: start element without content"
+                        )
+                    self._pending_contents.append(
+                        int.from_bytes(element.content, "little"))
+                if element.end and self.direction == "out":
+                    self._ready_credits += 1
+            self.t_expected.advance_by_mask(element.ends_mask)
+            self._satisfied_version = -1  # expected changed; re-evaluate
+            self.position += 1
+
+    # ------------------------------------------------------------------
+    def _clocks_satisfied(self) -> bool:
+        """``T_current >= T_expected``, cached until either side changes."""
+        version = self.coordinator.version
+        if self._satisfied_version == version:
+            return True
+        if self.coordinator.current.geq(self.t_expected):
+            self._satisfied_version = version
+            return True
+        return False
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.position = 0
+        self.t_expected = VectorClock(len(self.coordinator.current))
+        self._pending_contents.clear()
+        self._current = None
+        self._ready_credits = 0
+        self.replayed_transactions = 0
+        self.validation_contents.clear()
+        self._satisfied_version = -1

@@ -1,0 +1,77 @@
+"""Software runtime library (§4.2): enable/disable record/replay at run time.
+
+The paper ships a small C runtime that host applications link against to
+turn Vidi's recording on and off around each FPGA invocation and to
+persist traces. This is the Python analogue: a thin controller over a
+deployment's shim, usable imperatively or as a context manager::
+
+    runtime = VidiRuntime(deployment)
+    runtime.disable_recording()          # skip initialisation traffic
+    ... run setup ...
+    with runtime.recording():            # record just the invocation
+        ... run the accelerator ...
+    runtime.save("run.trace", metadata={"app": "..."})
+
+Toggling takes effect at transaction granularity: in-flight transactions
+are always recorded to completion, so the trace never contains a dangling
+start or end (the monitors enforce this).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.core.config import VidiMode
+from repro.core.trace_file import TraceFile
+from repro.errors import ConfigError
+
+
+class VidiRuntime:
+    """Run-time control over a deployment's recording pipeline."""
+
+    def __init__(self, deployment):
+        shim = getattr(deployment, "shim", deployment)
+        if shim.config.mode is not VidiMode.RECORD:
+            raise ConfigError(
+                "the runtime library controls recording deployments (R2)"
+            )
+        self.deployment = deployment
+        self.shim = shim
+
+    # ------------------------------------------------------------------
+    @property
+    def recording_enabled(self) -> bool:
+        """Whether the channel monitors are currently logging."""
+        return all(m.enabled for m in self.shim.monitors)
+
+    def enable_recording(self) -> None:
+        """Resume coarse-grained input recording on all monitors."""
+        for monitor in self.shim.monitors:
+            monitor.enabled = True
+
+    def disable_recording(self) -> None:
+        """Pause recording; the shim becomes transparent wiring."""
+        for monitor in self.shim.monitors:
+            monitor.enabled = False
+
+    @contextlib.contextmanager
+    def recording(self) -> Iterator["VidiRuntime"]:
+        """Record exactly the enclosed window of simulated execution."""
+        self.enable_recording()
+        try:
+            yield self
+        finally:
+            self.disable_recording()
+
+    # ------------------------------------------------------------------
+    def trace(self, metadata: Optional[dict] = None) -> TraceFile:
+        """Finalize and return the trace recorded so far."""
+        return self.shim.recorded_trace(metadata)
+
+    def save(self, path: str | Path, metadata: Optional[dict] = None) -> TraceFile:
+        """Persist the recorded trace to disk; returns it as well."""
+        trace = self.trace(metadata)
+        trace.save(path)
+        return trace

@@ -1,0 +1,143 @@
+"""Trace store: staging buffer, storage-word packing, bandwidth, back-pressure.
+
+During recording the trace store accepts variable-sized cycle packets from
+the trace encoder into an on-FPGA staging buffer (BRAM in the prototype) and
+drains them toward external storage — host DRAM over PCIe DMA on F1 — at a
+finite bandwidth, packed into fixed 64-byte storage words (§3.3).
+
+When the staging buffer cannot absorb the worst-case events of a cycle, the
+store signals back-pressure: the encoder stops granting new transaction
+starts, the channel monitors stall the handshakes, and — because everything
+is transaction-based — the application simply waits, with no loss and no
+broken orderings. This is the mechanism §6 contrasts against
+physical-timestamp tracers, which cannot pause without invalidating their
+timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SimulationError
+from repro.sim.module import Module
+
+STORAGE_WORD_BYTES = 64
+"""The fixed storage-interface granularity (F1 exposes 64-byte accesses)."""
+
+# Defaults calibrated from the paper's §6 figures: 5.5 GB/s effective PCIe
+# storage bandwidth at a 250 MHz design clock is 22 bytes per cycle.
+DEFAULT_BANDWIDTH_BYTES_PER_CYCLE = 22.0
+DEFAULT_STAGING_BYTES = 64 * 1024
+
+
+class TraceStore(Module):
+    """Bandwidth-limited sink for encoded cycle packets.
+
+    ``accept`` is called from the encoder's sequential process in the same
+    cycle the events occurred; ``seq`` then drains up to the per-cycle
+    bandwidth toward the external buffer. ``free`` only changes in these
+    sequential steps, so combinational grant queries made by the encoder
+    earlier in the cycle observe a stable value.
+    """
+
+    has_comb = False
+
+    def __init__(self, name: str,
+                 staging_bytes: int = DEFAULT_STAGING_BYTES,
+                 bandwidth_bytes_per_cycle: float = DEFAULT_BANDWIDTH_BYTES_PER_CYCLE,
+                 arbiter=None):
+        super().__init__(name)
+        # Optional shared-link arbiter (see repro.platform.pcie): when set,
+        # each cycle's drain is capped by the bandwidth the application left
+        # unused — the §4.1 AXI-Interconnect multiplexing.
+        self.arbiter = arbiter
+        if staging_bytes < STORAGE_WORD_BYTES:
+            raise SimulationError(
+                f"trace store {name!r}: staging must hold at least one "
+                f"{STORAGE_WORD_BYTES}-byte word"
+            )
+        self.staging_bytes = staging_bytes
+        self.bandwidth = bandwidth_bytes_per_cycle
+        self._staged: List[bytes] = []
+        self._staged_bytes = 0
+        self._drain_credit = 0.0
+        self.data = bytearray()          # external storage (host DRAM model)
+        self.total_packet_bytes = 0      # exact encoded trace length
+        self.stall_cycles = 0            # cycles spent with staging full
+
+    # ------------------------------------------------------------------
+    @property
+    def free(self) -> int:
+        """Staging bytes currently available (back-pressure input)."""
+        return self.staging_bytes - self._staged_bytes
+
+    def accept(self, packet: bytes) -> None:
+        """Stage one encoded cycle packet; capacity must have been granted."""
+        if len(packet) > self.free:
+            raise SimulationError(
+                f"trace store {self.name!r}: accept of {len(packet)} bytes "
+                f"with only {self.free} free — reservation accounting broken"
+            )
+        self._staged.append(packet)
+        self._staged_bytes += len(packet)
+        self.total_packet_bytes += len(packet)
+
+    # ------------------------------------------------------------------
+    def seq(self) -> None:
+        bandwidth = self.bandwidth
+        if self.arbiter is not None:
+            bandwidth = min(bandwidth, self.arbiter.store_budget())
+        if not self._staged:
+            self._drain_credit = min(self._drain_credit + bandwidth,
+                                     4 * self.bandwidth)
+            return
+        if self.free == 0:
+            self.stall_cycles += 1
+        self._drain_credit += bandwidth
+        budget = int(self._drain_credit)
+        spent = 0
+        while self._staged and spent < budget:
+            head = self._staged[0]
+            take = min(len(head), budget - spent)
+            self.data.extend(head[:take])
+            spent += take
+            self._staged_bytes -= take
+            if take == len(head):
+                self._staged.pop(0)
+            else:
+                self._staged[0] = head[take:]
+        self._drain_credit -= spent
+        if self.arbiter is not None and spent:
+            self.arbiter.note_store_bytes(spent)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Drain everything instantly (end of a recording run)."""
+        for chunk in self._staged:
+            self.data.extend(chunk)
+        self._staged.clear()
+        self._staged_bytes = 0
+
+    @property
+    def trace_bytes(self) -> bytes:
+        """The encoded trace body accumulated so far (flush first)."""
+        return bytes(self.data)
+
+    @property
+    def storage_words(self) -> int:
+        """64-byte storage words the trace occupies externally."""
+        return (len(self.data) + STORAGE_WORD_BYTES - 1) // STORAGE_WORD_BYTES
+
+    @property
+    def stored_size_bytes(self) -> int:
+        """External footprint after storage-word rounding (Table 1's TS)."""
+        return self.storage_words * STORAGE_WORD_BYTES
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._staged.clear()
+        self._staged_bytes = 0
+        self._drain_credit = 0.0
+        self.data = bytearray()
+        self.total_packet_bytes = 0
+        self.stall_cycles = 0

@@ -1,0 +1,122 @@
+"""Trace container: header + serialized cycle packets, save/load support.
+
+A :class:`TraceFile` is what Vidi's software runtime persists to disk after
+a recording and hands back for replay or offline analysis (validation,
+mutation). The header carries everything needed to interpret the body:
+the channel table (names, directions, content lengths), whether output
+contents were recorded, and free-form metadata (application name, workload
+seed, run configuration).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.core.events import ChannelTable
+from repro.core.packets import CyclePacket, deserialize_packets, serialize_packets
+from repro.errors import TraceFormatError
+
+_MAGIC = b"VIDITRC1"
+
+
+@dataclass
+class TraceFile:
+    """A recorded execution trace."""
+
+    table: ChannelTable
+    body: bytes
+    with_validation: bool = True
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Length of the encoded packet stream (the paper's TS metric)."""
+        return len(self.body)
+
+    def packets(self) -> List[CyclePacket]:
+        """Decode the body into cycle packets."""
+        return deserialize_packets(self.body, self.table, self.with_validation)
+
+    @classmethod
+    def from_packets(cls, table: ChannelTable, packets: List[CyclePacket],
+                     with_validation: bool = True,
+                     metadata: Dict[str, Any] | None = None) -> "TraceFile":
+        """Build a trace from in-memory packets (used by the mutation tool)."""
+        body = serialize_packets(packets, table, with_validation)
+        return cls(table=table, body=body, with_validation=with_validation,
+                   metadata=dict(metadata or {}))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_bytes(self, compress: bool = False) -> bytes:
+        """Serialize the whole trace (header + body) for storage.
+
+        ``compress=True`` additionally DEFLATEs the packet body — useful
+        for archiving traces offline; the on-FPGA format (what the TS
+        column of Table 1 measures) stays uncompressed.
+        """
+        body = zlib.compress(self.body, level=6) if compress else self.body
+        header = json.dumps({
+            "channels": self.table.to_dict(),
+            "with_validation": self.with_validation,
+            "metadata": self.metadata,
+            "compressed": compress,
+        }).encode("utf-8")
+        return b"".join([
+            _MAGIC,
+            len(header).to_bytes(8, "little"),
+            header,
+            len(body).to_bytes(8, "little"),
+            body,
+        ])
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TraceFile":
+        """Parse a serialized trace; validates magic and framing."""
+        if blob[:8] != _MAGIC:
+            raise TraceFormatError("not a Vidi trace (bad magic)")
+        cursor = 8
+        header_len = int.from_bytes(blob[cursor:cursor + 8], "little")
+        cursor += 8
+        try:
+            header = json.loads(blob[cursor:cursor + header_len])
+        except ValueError as exc:
+            raise TraceFormatError(f"corrupt trace header: {exc}") from exc
+        cursor += header_len
+        body_len = int.from_bytes(blob[cursor:cursor + 8], "little")
+        cursor += 8
+        body = blob[cursor:cursor + body_len]
+        if len(body) != body_len:
+            raise TraceFormatError("trace body truncated")
+        if header.get("compressed"):
+            try:
+                body = zlib.decompress(bytes(body))
+            except zlib.error as exc:
+                raise TraceFormatError(f"corrupt compressed body: {exc}") from exc
+        try:
+            table = ChannelTable.from_dict(header["channels"])
+            with_validation = bool(header["with_validation"])
+            metadata = header.get("metadata", {})
+        except Exception as exc:   # mutated-but-valid JSON headers
+            raise TraceFormatError(f"corrupt trace header: {exc}") from exc
+        return cls(
+            table=table,
+            body=bytes(body),
+            with_validation=with_validation,
+            metadata=metadata,
+        )
+
+    def save(self, path: str | Path, compress: bool = False) -> None:
+        """Write the trace to disk (optionally DEFLATE-compressed)."""
+        Path(path).write_bytes(self.to_bytes(compress=compress))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceFile":
+        """Read a trace from disk."""
+        return cls.from_bytes(Path(path).read_bytes())

@@ -1,0 +1,70 @@
+"""Vector clocks over monitored channels (§3.5).
+
+Vidi's logical timestamps have one entry per monitored channel; entry *i*
+counts completed transactions (end events) on channel *i*. The partial
+order ``T1 >= T2`` — every component of ``T1`` at least that of ``T2`` — is
+how channel replayers decide whether all happens-before prerequisites of the
+next trace element are satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ReplayError
+
+
+class VectorClock:
+    """A mutable vector of per-channel completed-transaction counts."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, n_or_counts: int | Sequence[int]):
+        if isinstance(n_or_counts, int):
+            self.counts: List[int] = [0] * n_or_counts
+        else:
+            self.counts = list(n_or_counts)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __getitem__(self, index: int) -> int:
+        return self.counts[index]
+
+    def increment(self, index: int) -> None:
+        """One more transaction completed on ``index``."""
+        self.counts[index] += 1
+
+    def advance_by_mask(self, ends_mask: int) -> None:
+        """Add one to every channel whose bit is set in ``ends_mask``."""
+        counts = self.counts
+        index = 0
+        while ends_mask:
+            if index >= len(counts):
+                raise ReplayError("ends mask wider than the vector clock")
+            if ends_mask & 1:
+                counts[index] += 1
+            ends_mask >>= 1
+            index += 1
+
+    # ------------------------------------------------------------------
+    def geq(self, other: "VectorClock") -> bool:
+        """The paper's ``T1 >= T2``: componentwise greater-or-equal."""
+        if len(other.counts) != len(self.counts):
+            raise ReplayError("comparing vector clocks of different widths")
+        for mine, theirs in zip(self.counts, other.counts):
+            if mine < theirs:
+                return False
+        return True
+
+    def copy(self) -> "VectorClock":
+        """An independent snapshot."""
+        return VectorClock(self.counts)
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        """Immutable view, used by analysis tooling."""
+        return tuple(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorClock({self.counts})"

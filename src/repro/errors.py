@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Vidi reproduction.
+
+All library-defined exceptions derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """An error raised by the cycle-accurate simulation kernel."""
+
+
+class CombinationalLoopError(SimulationError):
+    """Combinational logic failed to reach a fixpoint within the delta budget.
+
+    Raised when a cycle's combinational settling loop runs for more than
+    ``Simulator.max_delta`` passes, which indicates an oscillating feedback
+    path (e.g. two modules each inverting the other's output).
+    """
+
+
+class WatchdogTimeout(SimulationError):
+    """A bounded simulation run ended without its completion predicate.
+
+    This is how the reproduction detects hardware deadlocks (e.g. the buggy
+    ``axi_atop_filter`` in the testing case study): the simulated design makes
+    no progress and the bounded ``run_until`` gives up.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """A VALID/READY handshake rule was broken on a monitored channel.
+
+    Raised by :class:`repro.channels.protocol_checker.ProtocolChecker`, the
+    analogue of Xilinx's AXI Protocol Checker IP: VALID deasserted before
+    READY, or payload mutated while a handshake was pending.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A serialized trace could not be parsed (corrupt or mismatched layout)."""
+
+
+class ReplayError(ReproError):
+    """The replay engine could not make progress consistent with the trace."""
+
+
+class ConfigError(ReproError):
+    """An invalid Vidi configuration (unknown interface, bad mode, ...)."""
+
+
+class ResourceModelError(ReproError):
+    """The analytical resource model was queried with invalid parameters."""

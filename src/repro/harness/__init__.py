@@ -1,0 +1,26 @@
+"""Experiment harness: run applications under Vidi and regenerate the
+paper's tables and figures.
+
+``runner`` executes individual R1/R2/R3 deployments; ``experiments`` holds
+one driver per paper artefact (Table 1, Table 2, Fig. 7, §5.2-§5.5, §6)
+with paper-style text rendering. The ``benchmarks/`` tree wraps these in
+pytest-benchmark entry points.
+"""
+
+from repro.harness.runner import (
+    OverheadStats,
+    RunMetrics,
+    bench_config,
+    overhead_experiment,
+    record_run,
+    replay_run,
+)
+
+__all__ = [
+    "OverheadStats",
+    "RunMetrics",
+    "bench_config",
+    "overhead_experiment",
+    "record_run",
+    "replay_run",
+]

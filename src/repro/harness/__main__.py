@@ -1,0 +1,143 @@
+"""``python -m repro.harness`` — regenerate the paper's artefacts directly.
+
+Each subcommand runs one experiment driver and prints its paper-style
+artefact (optionally writing it to a file)::
+
+    python -m repro.harness table2
+    python -m repro.harness fig7 -o fig7.txt
+    python -m repro.harness table1 --runs 10          # paper-grade sampling
+    python -m repro.harness divergence --runs 3
+    python -m repro.harness panopticon
+    python -m repro.harness case-debugging
+    python -m repro.harness case-testing
+    python -m repro.harness all -o results.txt
+
+Applications can also be recorded and replayed directly::
+
+    python -m repro.harness record sha256 -o sha.trace --seed 7
+    python -m repro.harness replay sha256 sha.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.harness import experiments as exp
+
+
+def _artifact(name: str, runs: int) -> str:
+    if name == "table1":
+        return exp.render_table1(exp.run_table1(runs=runs))
+    if name == "table2":
+        return exp.render_table2(exp.run_table2())
+    if name == "fig7":
+        return exp.render_fig7(exp.run_fig7())
+    if name == "divergence":
+        return exp.render_divergence(exp.run_divergence(runs=runs))
+    if name == "panopticon":
+        return exp.render_panopticon(*exp.run_panopticon())
+    if name == "case-debugging":
+        return exp.render_case_debugging(exp.run_case_debugging())
+    if name == "case-testing":
+        return exp.render_case_testing(exp.run_case_testing())
+    raise ValueError(name)
+
+
+FAST = ("table2", "fig7", "panopticon")
+ALL = ("table1", "table2", "fig7", "divergence", "panopticon",
+       "case-debugging", "case-testing")
+
+
+def _cmd_record(args) -> int:
+    """Record one application run to a trace file."""
+    from repro.apps.registry import get_app
+    from repro.core import VidiConfig
+    from repro.harness.runner import bench_config, record_run
+
+    spec = get_app(args.app)
+    metrics = record_run(spec, bench_config(VidiConfig.r2), seed=args.seed,
+                         scale=args.scale)
+    trace = metrics.result["trace"]
+    trace.save(args.output, compress=args.compress)
+    print(f"recorded {spec.label}: {metrics.cycles} cycles, "
+          f"{metrics.monitored_transactions} transactions, "
+          f"{trace.size_bytes} trace bytes -> {args.output}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    """Replay a saved trace against an application and validate it."""
+    from repro.apps.registry import get_app
+    from repro.core import TraceFile, compare_traces
+    from repro.harness.runner import replay_run
+
+    spec = get_app(args.app)
+    trace = TraceFile.load(args.trace)
+    metrics = replay_run(spec, trace)
+    report = compare_traces(trace, metrics.result["validation"])
+    print(f"replayed {spec.label}: {metrics.cycles} cycles")
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's artefacts; record/replay apps")
+    sub = parser.add_subparsers(dest="command")
+    p_art = sub.add_parser("artifact", help="regenerate a paper artefact")
+    p_art.add_argument("artifact", choices=ALL + ("all", "fast"))
+    p_art.add_argument("--runs", type=int, default=3,
+                       help="samples per configuration (paper: 10)")
+    p_art.add_argument("-o", "--output",
+                       help="also write the artefact(s) to this file")
+    p_rec = sub.add_parser("record", help="record one application run")
+    p_rec.add_argument("app")
+    p_rec.add_argument("-o", "--output", required=True)
+    p_rec.add_argument("--seed", type=int, default=0)
+    p_rec.add_argument("--scale", type=float, default=None)
+    p_rec.add_argument("--compress", action="store_true")
+    p_rec.set_defaults(func=_cmd_record)
+    p_rep = sub.add_parser("replay", help="replay and validate a trace")
+    p_rep.add_argument("app")
+    p_rep.add_argument("trace")
+    p_rep.set_defaults(func=_cmd_replay)
+
+    # Back-compat: `python -m repro.harness table2` without the
+    # `artifact` keyword still works.
+    argv = list(argv) if argv is not None else None
+    import sys as _sys
+    raw = argv if argv is not None else _sys.argv[1:]
+    if raw and raw[0] in ALL + ("all", "fast"):
+        raw = ["artifact"] + list(raw)
+    args = parser.parse_args(raw)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command in ("record", "replay"):
+        return args.func(args)
+    if args.artifact == "all":
+        names: List[str] = list(ALL)
+    elif args.artifact == "fast":
+        names = list(FAST)
+    else:
+        names = [args.artifact]
+    pieces = []
+    for name in names:
+        text = _artifact(name, args.runs)
+        print(text)
+        print()
+        pieces.append(text)
+    if args.output:
+        Path(args.output).write_text("\n\n".join(pieces) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:   # e.g. piping into `head`
+        sys.exit(0)

@@ -1,0 +1,230 @@
+"""FPGA-side AXI subordinate state machines.
+
+These modules are the application side of the CPU-managed interfaces:
+
+* :class:`AxiLiteSubordinate` serves MMIO register reads/writes (sda, ocl,
+  bar1) against pluggable read/write hooks — accelerators wire these to
+  their control/status register files.
+* :class:`AxiSubordinate` serves 512-bit burst DMA (pcis) against a
+  :class:`~repro.sim.memory.WordMemory` (the on-FPGA DRAM), honouring
+  write strobes and notifying an optional observer of every data beat —
+  the streaming hook the echo-server case studies build on.
+
+Both accept AW and W in either order (as the AXI spec requires — the very
+liberty the buggy ``axi_atop_filter`` of §5.3 mishandles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.channels.axi import AxiInterface
+from repro.sim.memory import WordMemory
+from repro.sim.module import Module
+
+RegReader = Callable[[int], int]
+RegWriter = Callable[[int, int], None]
+
+
+class AxiLiteSubordinate(Module):
+    """Serves one AXI-Lite interface from register read/write hooks."""
+
+    def __init__(self, name: str, interface: AxiInterface,
+                 reg_read: RegReader, reg_write: RegWriter,
+                 response_latency: int = 1):
+        super().__init__(name)
+        self.interface = interface
+        self.reg_read = reg_read
+        self.reg_write = reg_write
+        self.response_latency = response_latency
+        self._aw: Optional[int] = None          # latched write address
+        self._w: Optional[Tuple[int, int]] = None  # latched (data, strb)
+        self._b_wait = 0                        # response latency countdown
+        self._b_pending = False
+        self._ar: Optional[int] = None
+        self._r_wait = 0
+        self._r_pending: Optional[int] = None   # read data to return
+        self.writes_served = 0
+        self.reads_served = 0
+
+    # ------------------------------------------------------------------
+    def comb(self) -> None:
+        iface = self.interface
+        iface.aw.ready.drive(0 if self._aw is not None or self._b_pending else 1)
+        iface.w.ready.drive(0 if self._w is not None or self._b_pending else 1)
+        if self._b_pending and self._b_wait == 0:
+            iface.b.valid.drive(1)
+            iface.b.payload.drive(iface.b.spec.pack({"resp": 0}))
+        else:
+            iface.b.valid.drive(0)
+            iface.b.payload.drive(0)
+        iface.ar.ready.drive(0 if self._ar is not None or self._r_pending is not None else 1)
+        if self._r_pending is not None and self._r_wait == 0:
+            iface.r.valid.drive(1)
+            iface.r.payload.drive(iface.r.spec.pack(
+                {"data": self._r_pending, "resp": 0}))
+        else:
+            iface.r.valid.drive(0)
+            iface.r.payload.drive(0)
+
+    def seq(self) -> None:
+        iface = self.interface
+        # Write path: accept AW and W independently, commit when both held.
+        if iface.aw.fired:
+            self._aw = iface.aw.spec.extract(iface.aw.payload.value, "addr")
+        if iface.w.fired:
+            w = iface.w.payload_dict()
+            self._w = (w["data"], w["strb"])
+        if self._aw is not None and self._w is not None and not self._b_pending:
+            data, strb = self._w
+            if strb == 0xF:
+                self.reg_write(self._aw, data)
+            else:
+                # Byte-granular merge for partial-strobe MMIO writes.
+                old = self.reg_read(self._aw)
+                merged = 0
+                for lane in range(4):
+                    src = data if (strb >> lane) & 1 else old
+                    merged |= src & (0xFF << (8 * lane))
+                self.reg_write(self._aw, merged)
+            self._b_pending = True
+            self._b_wait = self.response_latency
+            self._aw = None
+            self._w = None
+        if self._b_pending:
+            if self._b_wait > 0:
+                self._b_wait -= 1
+            elif iface.b.fired:
+                self._b_pending = False
+                self.writes_served += 1
+        # Read path.
+        if iface.ar.fired:
+            self._ar = iface.ar.spec.extract(iface.ar.payload.value, "addr")
+        if self._ar is not None and self._r_pending is None:
+            self._r_pending = self.reg_read(self._ar) & 0xFFFF_FFFF
+            self._r_wait = self.response_latency
+            self._ar = None
+        if self._r_pending is not None:
+            if self._r_wait > 0:
+                self._r_wait -= 1
+            elif iface.r.fired:
+                self._r_pending = None
+                self.reads_served += 1
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._aw = None
+        self._w = None
+        self._b_pending = False
+        self._b_wait = 0
+        self._ar = None
+        self._r_pending = None
+        self._r_wait = 0
+        self.writes_served = 0
+        self.reads_served = 0
+
+
+BeatObserver = Callable[[int, int, int], None]
+"""Called with (address, data, strobe) for every accepted DMA write beat."""
+
+
+class AxiSubordinate(Module):
+    """Serves a 512-bit burst DMA interface from on-FPGA memory (pcis side)."""
+
+    WORD_BYTES = 64
+
+    def __init__(self, name: str, interface: AxiInterface, memory: WordMemory,
+                 write_observer: Optional[BeatObserver] = None,
+                 read_latency: int = 2):
+        super().__init__(name)
+        self.interface = interface
+        self.memory = memory
+        self.write_observer = write_observer
+        self.read_latency = read_latency
+        # Write burst state: accept AW and W in either order.
+        self._pending_aw: Deque[Tuple[int, int, int]] = deque()  # (addr, len, id)
+        self._pending_w: Deque[Tuple[int, int, int]] = deque()   # (data, strb, last)
+        self._b_queue: Deque[int] = deque()                      # ids to ack
+        # Read burst state.
+        self._read_burst: Optional[Tuple[int, int, int]] = None  # (addr, remaining, id)
+        self._r_wait = 0
+        self.write_beats = 0
+        self.read_beats = 0
+
+    # ------------------------------------------------------------------
+    def comb(self) -> None:
+        iface = self.interface
+        iface.aw.ready.drive(0 if len(self._pending_aw) >= 4 else 1)
+        iface.w.ready.drive(0 if len(self._pending_w) >= 16 else 1)
+        if self._b_queue:
+            iface.b.valid.drive(1)
+            iface.b.payload.drive(iface.b.spec.pack(
+                {"id": self._b_queue[0], "resp": 0}))
+        else:
+            iface.b.valid.drive(0)
+            iface.b.payload.drive(0)
+        iface.ar.ready.drive(0 if self._read_burst is not None else 1)
+        if self._read_burst is not None and self._r_wait == 0:
+            addr, remaining, burst_id = self._read_burst
+            iface.r.valid.drive(1)
+            iface.r.payload.drive(iface.r.spec.pack({
+                "data": self.memory.read_word(addr),
+                "id": burst_id,
+                "resp": 0,
+                "last": 1 if remaining == 1 else 0,
+            }))
+        else:
+            iface.r.valid.drive(0)
+            iface.r.payload.drive(0)
+
+    def seq(self) -> None:
+        iface = self.interface
+        if iface.aw.fired:
+            aw = iface.aw.payload_dict()
+            self._pending_aw.append((aw["addr"], aw["len"] + 1, aw["id"]))
+        if iface.w.fired:
+            w = iface.w.payload_dict()
+            self._pending_w.append((w["data"], w["strb"], w["last"]))
+            self.write_beats += 1
+        # Commit beats once their burst's AW is known.
+        while self._pending_aw and self._pending_w:
+            addr, remaining, burst_id = self._pending_aw[0]
+            data, strb, last = self._pending_w.popleft()
+            self.memory.write_word(addr, data, strobe=strb)
+            if self.write_observer is not None:
+                self.write_observer(addr, data, strb)
+            remaining -= 1
+            if last or remaining == 0:
+                self._pending_aw.popleft()
+                self._b_queue.append(burst_id)
+            else:
+                self._pending_aw[0] = (addr + self.WORD_BYTES, remaining, burst_id)
+        if iface.b.fired:
+            self._b_queue.popleft()
+        # Read bursts.
+        if iface.ar.fired:
+            ar = iface.ar.payload_dict()
+            self._read_burst = (ar["addr"], ar["len"] + 1, ar["id"])
+            self._r_wait = self.read_latency
+        if self._read_burst is not None:
+            if self._r_wait > 0:
+                self._r_wait -= 1
+            elif iface.r.fired:
+                addr, remaining, burst_id = self._read_burst
+                self.read_beats += 1
+                if remaining == 1:
+                    self._read_burst = None
+                else:
+                    self._read_burst = (addr + self.WORD_BYTES, remaining - 1,
+                                        burst_id)
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._pending_aw.clear()
+        self._pending_w.clear()
+        self._b_queue.clear()
+        self._read_burst = None
+        self._r_wait = 0
+        self.write_beats = 0
+        self.read_beats = 0

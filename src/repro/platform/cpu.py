@@ -1,0 +1,493 @@
+"""CPU model: host programs driving the environment side of the interfaces.
+
+A *host program* is a Python generator that yields operations —
+MMIO register accesses, PCIe DMA transfers, waits — and receives each
+operation's result back at the yield point, e.g.::
+
+    def program(host):
+        yield DmaWrite(0x0, payload)                 # pcis burst DMA
+        yield MmioWrite("ocl", CTRL, 1)              # start the accelerator
+        status = yield MmioRead("ocl", STATUS)       # poll
+        data = yield DmaRead(0x1000, len(payload))   # read results back
+
+The :class:`CpuModel` executes one or more such programs concurrently
+("threads"), dispatching their operations onto per-interface engines with
+seeded think-time jitter — the host-side scheduling non-determinism that
+produces bugs like §5.2's delayed start. The vendor-simulation environment
+mode refuses multi-threaded programs, mirroring the F1 simulator's
+limitation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.channels.axi import AxiInterface
+from repro.channels.handshake import ChannelSink, ChannelSource
+from repro.errors import SimulationError
+from repro.platform.env import EnvironmentMode
+from repro.sim.memory import WordMemory
+from repro.sim.module import Module
+
+# ----------------------------------------------------------------------
+# host-program operations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MmioWrite:
+    """Write a 32-bit register over an AXI-Lite interface."""
+
+    interface: str
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class MmioRead:
+    """Read a 32-bit register; the yield returns the value."""
+
+    interface: str
+    addr: int
+
+
+@dataclass(frozen=True)
+class DmaWrite:
+    """PCIe DMA from host to FPGA over pcis (byte-accurate, may be unaligned)."""
+
+    addr: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class DmaRead:
+    """PCIe DMA from FPGA to host over pcis; the yield returns bytes."""
+
+    addr: int
+    length: int
+
+
+@dataclass(frozen=True)
+class WaitCycles:
+    """Sleep for a fixed number of cycles (e.g. a polling interval)."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class HostMemRead:
+    """Read host DRAM directly (a plain CPU load; no FPGA transaction)."""
+
+    addr: int
+    length: int
+
+
+@dataclass(frozen=True)
+class WaitHostWord:
+    """Spin until a predicate holds on a host-DRAM word (no FPGA traffic).
+
+    This models a CPU waiting on a completion flag the FPGA DMA-writes into
+    host memory — synchronization *outside* the record/replay boundary.
+    """
+
+    addr: int
+    predicate: Callable[[int], bool]
+
+
+HostProgram = Generator[Any, Any, None]
+
+
+# ----------------------------------------------------------------------
+# MMIO port engine (one per AXI-Lite interface)
+# ----------------------------------------------------------------------
+
+
+class MmioPort(Module):
+    """Executes queued register reads/writes on one AXI-Lite interface."""
+
+    has_comb = False  # behaviour lives in the child sources/sinks
+
+    def __init__(self, name: str, interface: AxiInterface):
+        super().__init__(name)
+        self.interface = interface
+        self.aw_src = self.submodule(ChannelSource(f"{name}.aw", interface.aw))
+        self.w_src = self.submodule(ChannelSource(f"{name}.w", interface.w))
+        self.ar_src = self.submodule(ChannelSource(f"{name}.ar", interface.ar))
+        self.b_sink = self.submodule(ChannelSink(f"{name}.b", interface.b))
+        self.r_sink = self.submodule(ChannelSink(f"{name}.r", interface.r))
+        self._queue: Deque[Tuple[Any, Callable[[Any], None]]] = deque()
+        self._active: Optional[Tuple[Any, Callable[[Any], None], int]] = None
+
+    def submit(self, op, on_complete: Callable[[Any], None]) -> None:
+        """Queue one MmioWrite/MmioRead for execution."""
+        self._queue.append((op, on_complete))
+
+    @property
+    def idle(self) -> bool:
+        return self._active is None and not self._queue
+
+    def seq(self) -> None:
+        if self._active is None and self._queue:
+            op, callback = self._queue.popleft()
+            if isinstance(op, MmioWrite):
+                self.aw_src.send({"addr": op.addr})
+                self.w_src.send({"data": op.value, "strb": 0xF})
+                baseline = len(self.b_sink.received)
+            else:
+                self.ar_src.send({"addr": op.addr})
+                baseline = len(self.r_sink.received)
+            self._active = (op, callback, baseline)
+            return
+        if self._active is not None:
+            op, callback, baseline = self._active
+            if isinstance(op, MmioWrite):
+                if len(self.b_sink.received) > baseline:
+                    self._active = None
+                    callback(None)
+            else:
+                if len(self.r_sink.received) > baseline:
+                    word = self.r_sink.received[-1]
+                    value = self.interface.r.spec.extract(word, "data")
+                    self._active = None
+                    callback(value)
+
+
+# ----------------------------------------------------------------------
+# pcis DMA engine
+# ----------------------------------------------------------------------
+
+
+class PcisDmaEngine(Module):
+    """Executes byte-accurate burst DMA on the CPU-managed pcis interface."""
+
+    has_comb = False
+    WORD = 64
+    MAX_BURST = 8
+
+    def __init__(self, name: str, interface: AxiInterface,
+                 model_strobes: bool = True,
+                 burst_gap: int = 4, gap_jitter: int = 3,
+                 seed: Optional[int] = 0, pcie=None):
+        super().__init__(name)
+        self.interface = interface
+        self.model_strobes = model_strobes
+        self.burst_gap = burst_gap
+        self.gap_jitter = gap_jitter
+        self.pcie = pcie
+        self._rng = random.Random(seed)
+        self.aw_src = self.submodule(ChannelSource(f"{name}.aw", interface.aw))
+        self.w_src = self.submodule(ChannelSource(f"{name}.w", interface.w))
+        self.ar_src = self.submodule(ChannelSource(f"{name}.ar", interface.ar))
+        self.b_sink = self.submodule(ChannelSink(f"{name}.b", interface.b))
+        # Read-data consumption is paced by the shared PCIe link: the sink
+        # raises READY only when a beat's worth of link credit is granted.
+        self.r_sink = self.submodule(ChannelSink(
+            f"{name}.r", interface.r, policy=self._r_ready_policy))
+        self._w_beats_left: List[Tuple[int, int, int]] = []  # (data, strb, last)
+        self._queue: Deque[Tuple[Any, Callable[[Any], None]]] = deque()
+        self._bursts: List[Tuple] = []     # remaining bursts of the active op
+        self._callback: Optional[Callable[[Any], None]] = None
+        self._kind = ""                    # 'write' or 'read'
+        self._await_b: Optional[int] = None
+        self._await_r: Optional[Tuple[int, int]] = None  # (baseline, expected beats)
+        self._gap = 0
+        self._read_data: List[Tuple[int, int]] = []      # (word, data)
+        self._read_op: Optional[DmaRead] = None
+        self._bursts_done_addr = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, op, on_complete: Callable[[Any], None]) -> None:
+        """Queue one DmaWrite/DmaRead for execution."""
+        self._queue.append((op, on_complete))
+
+    @property
+    def idle(self) -> bool:
+        return (self._callback is None and not self._queue)
+
+    def _r_ready_policy(self, _cycle: int, _count: int) -> bool:
+        """READY for read-data beats, gated on PCIe link credit."""
+        if self._await_r is None:
+            return False
+        return self.pcie is None or self.pcie.request_app()
+
+    # ------------------------------------------------------------------
+    def _plan_write(self, op: DmaWrite) -> List[Tuple[int, List[Tuple[int, int]]]]:
+        """Split a byte-accurate write into aligned bursts of (data, strobe)."""
+        addr, data = op.addr, op.data
+        if not self.model_strobes:
+            # Vendor-sim inaccuracy: addresses are force-aligned and strobes
+            # are full, silently corrupting unaligned transfers.
+            addr &= ~(self.WORD - 1)
+            padded = data.ljust((len(data) + self.WORD - 1) // self.WORD * self.WORD,
+                                b"\0")
+            beats = [
+                (int.from_bytes(padded[i:i + self.WORD], "little"),
+                 (1 << self.WORD) - 1)
+                for i in range(0, len(padded), self.WORD)
+            ]
+        else:
+            first_word = addr & ~(self.WORD - 1)
+            last_word = (addr + len(data) - 1) & ~(self.WORD - 1)
+            beats = []
+            for word_addr in range(first_word, last_word + self.WORD, self.WORD):
+                strobe = 0
+                word = 0
+                for lane in range(self.WORD):
+                    byte_addr = word_addr + lane
+                    if addr <= byte_addr < addr + len(data):
+                        strobe |= 1 << lane
+                        word |= data[byte_addr - addr] << (8 * lane)
+                beats.append((word, strobe))
+            addr = first_word
+        bursts = []
+        for i in range(0, len(beats), self.MAX_BURST):
+            bursts.append((addr + i * self.WORD, beats[i:i + self.MAX_BURST]))
+        return bursts
+
+    def _plan_read(self, op: DmaRead) -> List[Tuple[int, int]]:
+        """Split a read into aligned (addr, n_beats) bursts covering it."""
+        first_word = op.addr & ~(self.WORD - 1)
+        last_word = (op.addr + op.length - 1) & ~(self.WORD - 1)
+        n_words = (last_word - first_word) // self.WORD + 1
+        bursts = []
+        offset = 0
+        while offset < n_words:
+            take = min(n_words - offset, self.MAX_BURST)
+            bursts.append((first_word + offset * self.WORD, take))
+            offset += take
+        return bursts
+
+    def _gap_cycles(self) -> int:
+        if self.gap_jitter <= 0:
+            return self.burst_gap
+        return self.burst_gap + self._rng.randrange(self.gap_jitter + 1)
+
+    # ------------------------------------------------------------------
+    def seq(self) -> None:
+        # Dribble write-data beats of the in-flight burst at link rate.
+        if self._w_beats_left and len(self.w_src.queue) < 2:
+            if self.pcie is None or self.pcie.request_app():
+                data, strobe, last = self._w_beats_left.pop(0)
+                self.w_src.send({"data": data, "strb": strobe,
+                                 "last": last, "id": 0})
+        if self._gap > 0:
+            self._gap -= 1
+            return
+        # Completion checks for the in-flight burst.
+        if self._await_b is not None:
+            if self._w_beats_left:
+                return   # burst data still streaming
+            if len(self.b_sink.received) > self._await_b:
+                self._await_b = None
+                self._gap = self._gap_cycles()
+            else:
+                return
+        if self._await_r is not None:
+            baseline, expected = self._await_r
+            if len(self.r_sink.received) >= baseline + expected:
+                base_addr = self._bursts_done_addr
+                for i in range(expected):
+                    word = self.r_sink.received[baseline + i]
+                    data = self.interface.r.spec.extract(word, "data")
+                    self._read_data.append((base_addr + i * self.WORD, data))
+                self._await_r = None
+                self._gap = self._gap_cycles()
+            else:
+                return
+        # Issue the next burst of the active op.
+        if self._callback is not None and self._bursts:
+            if self._kind == "write":
+                burst_addr, beats = self._bursts.pop(0)
+                self.aw_src.send({"addr": burst_addr, "len": len(beats) - 1,
+                                  "size": 6, "id": 0})
+                self._w_beats_left = [
+                    (data, strobe, 1 if i == len(beats) - 1 else 0)
+                    for i, (data, strobe) in enumerate(beats)
+                ]
+                self._await_b = len(self.b_sink.received)
+            else:
+                burst_addr, n_beats = self._bursts.pop(0)
+                self.ar_src.send({"addr": burst_addr, "len": n_beats - 1,
+                                  "size": 6, "id": 0})
+                self._await_r = (len(self.r_sink.received), n_beats)
+                self._bursts_done_addr = burst_addr
+            return
+        # Finish the active op.
+        if self._callback is not None and not self._bursts:
+            callback = self._callback
+            self._callback = None
+            if self._kind == "read":
+                op = self._read_op
+                image = bytearray()
+                for word_addr, data in sorted(self._read_data):
+                    image.extend(data.to_bytes(self.WORD, "little"))
+                first_word = op.addr & ~(self.WORD - 1)
+                start = op.addr - first_word
+                callback(bytes(image[start:start + op.length]))
+            else:
+                callback(None)
+            return
+        # Start the next queued op.
+        if self._queue:
+            op, callback = self._queue.popleft()
+            self._callback = callback
+            if isinstance(op, DmaWrite):
+                self._kind = "write"
+                self._bursts = self._plan_write(op)
+            else:
+                self._kind = "read"
+                self._read_op = op
+                self._read_data = []
+                self._bursts = self._plan_read(op)
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._queue.clear()
+        self._bursts = []
+        self._callback = None
+        self._await_b = None
+        self._await_r = None
+        self._gap = 0
+        self._read_data = []
+        self._read_op = None
+        self._w_beats_left = []
+
+
+# ----------------------------------------------------------------------
+# the CPU itself
+# ----------------------------------------------------------------------
+
+
+class CpuModel(Module):
+    """Runs host-program threads against the environment-side interfaces."""
+
+    has_comb = False
+
+    def __init__(self, name: str, interfaces: Dict[str, AxiInterface],
+                 host_memory: WordMemory,
+                 mode: EnvironmentMode = EnvironmentMode.HARDWARE,
+                 think_jitter: int = 3, seed: Optional[int] = 0, pcie=None):
+        super().__init__(name)
+        self.mode = mode
+        self.host_memory = host_memory
+        self.think_jitter = think_jitter
+        self._rng = random.Random(seed)
+        self.mmio_ports: Dict[str, MmioPort] = {}
+        for iface_name in ("sda", "ocl", "bar1"):
+            if iface_name in interfaces:
+                port = MmioPort(f"{name}.{iface_name}", interfaces[iface_name])
+                self.mmio_ports[iface_name] = port
+                self.submodule(port)
+        self.dma: Optional[PcisDmaEngine] = None
+        if "pcis" in interfaces:
+            self.dma = PcisDmaEngine(
+                f"{name}.pcis", interfaces["pcis"],
+                model_strobes=mode.models_strobes,
+                seed=None if seed is None else seed + 1, pcie=pcie)
+            self.submodule(self.dma)
+        self._threads: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def add_thread(self, program: HostProgram, name: str = "") -> None:
+        """Register one host-program thread (created before the run starts)."""
+        if self._threads and not self.mode.supports_threads:
+            raise SimulationError(
+                "the vendor simulation framework does not support "
+                "multi-threaded CPU programs (it segfaults on F1)"
+            )
+        self._threads.append({
+            "name": name or f"T{len(self._threads) + 1}",
+            "gen": program,
+            "state": "ready",       # ready | thinking | blocked | done
+            "think": 0,
+            "result": None,
+            "wait": None,           # WaitCycles/WaitHostWord bookkeeping
+            "op": None,
+        })
+
+    @property
+    def done(self) -> bool:
+        """All threads finished and all engines drained."""
+        engines_idle = all(p.idle for p in self.mmio_ports.values())
+        if self.dma is not None:
+            engines_idle = engines_idle and self.dma.idle
+        return engines_idle and all(t["state"] == "done" for t in self._threads)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, thread: dict, op) -> None:
+        """Hand one operation to the right engine."""
+        def complete(result):
+            thread["state"] = "ready"
+            thread["result"] = result
+
+        if isinstance(op, (MmioWrite, MmioRead)):
+            port = self.mmio_ports.get(op.interface)
+            if port is None:
+                raise SimulationError(f"no MMIO port {op.interface!r}")
+            thread["state"] = "blocked"
+            port.submit(op, complete)
+        elif isinstance(op, (DmaWrite, DmaRead)):
+            if self.dma is None:
+                raise SimulationError("no pcis DMA engine in this deployment")
+            thread["state"] = "blocked"
+            self.dma.submit(op, complete)
+        elif isinstance(op, HostMemRead):
+            thread["state"] = "ready"   # a plain load; resumes next cycle
+            thread["result"] = self.host_memory.read_bytes(op.addr, op.length)
+        elif isinstance(op, WaitCycles):
+            thread["state"] = "blocked"
+            thread["wait"] = ["cycles", op.cycles]
+        elif isinstance(op, WaitHostWord):
+            thread["state"] = "blocked"
+            thread["wait"] = ["hostword", op]
+        else:
+            raise SimulationError(f"unknown host operation {op!r}")
+
+    def seq(self) -> None:
+        for thread in self._threads:
+            state = thread["state"]
+            if state == "done":
+                continue
+            if state == "blocked" and thread["wait"] is not None:
+                kind = thread["wait"][0]
+                if kind == "cycles":
+                    thread["wait"][1] -= 1
+                    if thread["wait"][1] <= 0:
+                        thread["wait"] = None
+                        thread["state"] = "ready"
+                        thread["result"] = None
+                else:
+                    op = thread["wait"][1]
+                    word = int.from_bytes(
+                        self.host_memory.read_bytes(op.addr, 8), "little")
+                    if op.predicate(word):
+                        thread["wait"] = None
+                        thread["state"] = "ready"
+                        thread["result"] = word
+                continue
+            if state == "blocked":
+                continue
+            if state == "thinking":
+                thread["think"] -= 1
+                if thread["think"] > 0:
+                    continue
+                self._dispatch(thread, thread["op"])
+                continue
+            # ready: advance the generator with the last result.
+            try:
+                op = thread["gen"].send(thread["result"])
+            except StopIteration:
+                thread["state"] = "done"
+                continue
+            thread["result"] = None
+            thread["op"] = op
+            think = self._rng.randrange(self.think_jitter + 1) \
+                if self.think_jitter > 0 else 0
+            if think:
+                thread["state"] = "thinking"
+                thread["think"] = think
+            else:
+                self._dispatch(thread, op)

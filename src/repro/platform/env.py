@@ -1,0 +1,37 @@
+"""Environment modes: real hardware vs. the vendor simulation framework.
+
+The debugging case study (§5.2) hinges on behaviours that differ between an
+FPGA deployment and the vendor's simulation of it:
+
+* **unaligned DMA**: hardware DMA engines express unaligned accesses with
+  byte strobes; the F1 simulation framework does not model them — so a
+  design that mishandles strobes looks correct in simulation;
+* **multi-threaded host programs**: the F1 simulation framework cannot run
+  them (the paper observed the simulator segfault), so races between host
+  threads are invisible pre-deployment.
+
+:class:`EnvironmentMode` selects which behaviour the platform model
+exhibits; recording on ``HARDWARE`` and replaying under ``VENDOR_SIM`` is
+how Vidi lets a developer see hardware-only inputs inside a simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EnvironmentMode(enum.Enum):
+    """Which environment the platform model emulates."""
+
+    HARDWARE = "hardware"
+    VENDOR_SIM = "vendor-sim"
+
+    @property
+    def models_strobes(self) -> bool:
+        """Whether unaligned DMA produces byte strobes (hardware only)."""
+        return self is EnvironmentMode.HARDWARE
+
+    @property
+    def supports_threads(self) -> bool:
+        """Whether multi-threaded host programs can run (hardware only)."""
+        return self is EnvironmentMode.HARDWARE

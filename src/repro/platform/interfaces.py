@@ -1,0 +1,44 @@
+"""The five CPU↔FPGA interfaces of the AWS F1 platform model.
+
+F1 exposes to the user design three 32-bit AXI-Lite MMIO buses (``sda``,
+``ocl``, ``bar1``) on which the CPU is the manager, a 512-bit AXI bus the
+CPU manages for DMA into the FPGA (``pcis``), and a 512-bit AXI bus the
+FPGA manages for DMA into host memory (``pcim``). Together they monitor
+3056 payload bits — the right edge of the paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.channels.axi import AxiInterface, axi4_interface, axi_lite_interface
+from repro.channels.axi_stream import axis_interface
+from repro.core.config import F1_INTERFACE_ORDER
+
+INTERFACE_KINDS: Dict[str, tuple] = {
+    # name -> (factory, manager side)
+    "sda": (axi_lite_interface, "cpu"),
+    "ocl": (axi_lite_interface, "cpu"),
+    "bar1": (axi_lite_interface, "cpu"),
+    "pcim": (axi4_interface, "fpga"),
+    "pcis": (axi4_interface, "cpu"),
+    # §4.1 customisation: the DDR4 bus between accelerator and the on-FPGA
+    # DRAM controller. The accelerator masters it, so from the record/replay
+    # boundary's perspective it behaves like pcim (B/R are inputs).
+    "ddr4": (axi4_interface, "fpga"),
+    # Streaming ports (SmartNIC-style ingress/egress), AXI-Stream protocol.
+    "axis_in": (axis_interface, "cpu"),
+    "axis_out": (axis_interface, "fpga"),
+}
+
+
+def make_f1_interfaces(prefix: str, with_ddr4: bool = False,
+                       with_axis: bool = False) -> Dict[str, AxiInterface]:
+    """Create one full set of F1 interfaces, named ``<prefix>.<interface>``."""
+    names = F1_INTERFACE_ORDER + (("ddr4",) if with_ddr4 else ()) \
+        + (("axis_in", "axis_out") if with_axis else ())
+    out: Dict[str, AxiInterface] = {}
+    for name in names:
+        factory, manager = INTERFACE_KINDS[name]
+        out[name] = factory(f"{prefix}.{name}", manager=manager)
+    return out

@@ -1,0 +1,153 @@
+"""The F1 deployment: shell, CPU, host memory, Vidi shim, accelerator.
+
+:class:`F1Deployment` assembles one complete simulated system the way the
+paper's prototype assembles a bitstream: environment-side interfaces driven
+by the CPU model and host memory controller, the Vidi shim in the middle
+(pass-through, recording, or replaying), and the accelerator on the
+application side. Accelerators are provided as factories over the
+application-side interfaces, so the same accelerator code runs under every
+Vidi configuration unchanged — the paper's "no developer annotations"
+property (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.channels.axi import AxiInterface
+from repro.core.config import VidiConfig, VidiMode
+from repro.core.shim import VidiShim
+from repro.core.trace_file import TraceFile
+from repro.errors import ConfigError
+from repro.platform.cpu import CpuModel
+from repro.platform.env import EnvironmentMode
+from repro.platform.host_mem import HostMemoryController
+from repro.platform.pcie import PcieArbiter
+from repro.platform.interfaces import make_f1_interfaces
+from repro.sim.memory import WordMemory
+from repro.sim.module import Module
+from repro.sim.simulator import Simulator
+
+AcceleratorFactory = Callable[[Dict[str, AxiInterface]], Module]
+
+HOST_MEMORY_BYTES = 1 << 22   # 4 MiB of modelled host DRAM
+DEFAULT_MAX_CYCLES = 2_000_000
+
+
+class F1Deployment:
+    """One simulated F1 instance with a Vidi shim and an accelerator."""
+
+    def __init__(self, name: str,
+                 accelerator_factory: AcceleratorFactory,
+                 config: VidiConfig,
+                 env_mode: EnvironmentMode = EnvironmentMode.HARDWARE,
+                 seed: Optional[int] = 0,
+                 replay_trace: Optional[TraceFile] = None,
+                 host_latency: int = 6, host_jitter: int = 4,
+                 think_jitter: int = 3, with_ddr4: bool = False,
+                 with_axis: bool = False):
+        self.name = name
+        self.config = config
+        self.env_mode = env_mode
+        self.sim = Simulator(name)
+        with_ddr4 = with_ddr4 or "ddr4" in config.interfaces
+        with_axis = with_axis or "axis_in" in config.interfaces \
+            or "axis_out" in config.interfaces
+        self.with_ddr4 = with_ddr4
+        self.with_axis = with_axis
+        self.env_interfaces = make_f1_interfaces(
+            f"{name}.env", with_ddr4=with_ddr4, with_axis=with_axis)
+        self.app_interfaces = make_f1_interfaces(
+            f"{name}.app", with_ddr4=with_ddr4, with_axis=with_axis)
+        for interface in self.env_interfaces.values():
+            self.sim.add(interface)
+        for interface in self.app_interfaces.values():
+            self.sim.add(interface)
+        self.host_memory = WordMemory(f"{name}.host_dram", HOST_MEMORY_BYTES)
+
+        live_environment = config.mode is not VidiMode.REPLAY
+        self.pcie: Optional[PcieArbiter] = None
+        if live_environment:
+            # The shared CPU<->FPGA link: paces all host-side DMA and gives
+            # the trace store its leftover bandwidth (§4.1, §6).
+            self.pcie = PcieArbiter(f"{name}.pcie")
+            self.sim.add(self.pcie)
+
+        self.shim = VidiShim(f"{name}.vidi", self.env_interfaces,
+                             self.app_interfaces, config,
+                             replay_trace=replay_trace,
+                             store_arbiter=self.pcie)
+        self.sim.add(self.shim)
+
+        self.cpu: Optional[CpuModel] = None
+        self.host_mc: Optional[HostMemoryController] = None
+        if live_environment:
+            # The live environment only exists when we are not replaying:
+            # during replay every input comes from the trace.
+            self.cpu = CpuModel(
+                f"{name}.cpu", self.env_interfaces, self.host_memory,
+                mode=env_mode, think_jitter=think_jitter, seed=seed,
+                pcie=self.pcie)
+            self.sim.add(self.cpu)
+            self.host_mc = HostMemoryController(
+                f"{name}.host_mc", self.env_interfaces["pcim"],
+                self.host_memory, base_latency=host_latency,
+                jitter=host_jitter if env_mode is EnvironmentMode.HARDWARE else 0,
+                seed=None if seed is None else seed + 2, pcie=self.pcie)
+            self.sim.add(self.host_mc)
+
+        self.stream_driver = None
+        self.stream_collector = None
+        if with_axis and live_environment:
+            from repro.platform.stream import StreamCollector, StreamDriver
+
+            self.stream_driver = StreamDriver(
+                f"{name}.ingress", self.env_interfaces["axis_in"],
+                seed=None if seed is None else seed + 4)
+            self.sim.add(self.stream_driver)
+            self.stream_collector = StreamCollector(
+                f"{name}.egress", self.env_interfaces["axis_out"],
+                seed=None if seed is None else seed + 5)
+            self.sim.add(self.stream_collector)
+
+        self.accelerator = accelerator_factory(self.app_interfaces)
+        self.sim.add(self.accelerator)
+
+        self.ddr_controller: Optional[HostMemoryController] = None
+        if with_ddr4 and live_environment:
+            # §4.1: the DDR4 controller sits outside the record/replay
+            # boundary, serving the accelerator's DRAM over the monitored
+            # ddr4 interface. During replay its responses come from the
+            # trace, so — like the CPU — it simply is not instantiated.
+            self.ddr_controller = HostMemoryController(
+                f"{name}.ddr_ctrl", self.env_interfaces["ddr4"],
+                self.accelerator.dram, base_latency=2,
+                jitter=1 if env_mode is EnvironmentMode.HARDWARE else 0,
+                seed=None if seed is None else seed + 3)
+            self.sim.add(self.ddr_controller)
+        # Elaboration is lazy (first step), so callers may still attach
+        # taps/recorders to the deployment before running it.
+
+    # ------------------------------------------------------------------
+    def run_to_completion(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> int:
+        """Run until the host program finishes; returns elapsed cycles."""
+        if self.cpu is None:
+            raise ConfigError("replay deployments use run_replay()")
+        return self.sim.run_until(lambda: self.cpu.done, max_cycles,
+                                  what=f"{self.name}: host program completion")
+
+    def run_replay(self, max_cycles: int = DEFAULT_MAX_CYCLES,
+                   drain_cycles: int = 64) -> int:
+        """Run until every replayer drained its feed; returns elapsed cycles."""
+        if self.config.mode is not VidiMode.REPLAY:
+            raise ConfigError("run_replay() requires a replay configuration")
+        elapsed = self.sim.run_until(
+            lambda: self.shim.replay_done, max_cycles,
+            what=f"{self.name}: replay completion")
+        self.sim.run(drain_cycles)   # let trailing validation packets flush
+        return elapsed
+
+    # ------------------------------------------------------------------
+    def recorded_trace(self, metadata: Optional[dict] = None) -> TraceFile:
+        """The trace captured by this deployment's recording pipeline."""
+        return self.shim.recorded_trace(metadata)

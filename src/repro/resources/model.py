@@ -1,0 +1,187 @@
+"""Analytical FPGA resource model for the Vidi shim (Table 2, Fig. 7).
+
+We cannot run Vivado synthesis, so resource overheads are produced by a
+documented analytical model with the same *structure* as the hardware:
+
+* each **channel monitor** costs logic and registers linear in the payload
+  width it forwards and snapshots (muxes, the packet register, handshake
+  FSM);
+* the **trace encoder** pays a fixed FSM cost, a per-channel aggregation
+  cost and a contents-compaction tree linear in the total input width;
+* the **trace store** contributes fixed DMA/control logic plus BRAM for
+  the staging buffer; BRAM comes in fixed-size blocks, which is why the
+  paper's BRAM column is constant across applications and steps coarsely
+  in Fig. 7;
+* the **decoder/replayers** mirror the monitor/encoder structure (the
+  prototype carries both directions, since R2/R3 are selected at run time).
+
+Constants are calibrated against Table 2's full-configuration observation
+(≈5.6% LUT, ≈3.8% FF, 6.92% BRAM of the resources afforded to an F1 user
+design when all five interfaces are monitored) and Fig. 7's roughly linear
+scaling in monitored width. Per-application variation (Vivado optimising
+differently per design) is modelled with a small deterministic
+perturbation seeded by the application name, bounded by the spread Table 2
+shows (±0.6% LUT).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.channels.axi import AxiInterface
+from repro.core.config import F1_INTERFACE_ORDER
+from repro.errors import ResourceModelError
+from repro.platform.interfaces import INTERFACE_KINDS, make_f1_interfaces
+
+# ----------------------------------------------------------------------
+# capacity of the user-visible partition of the F1 VU9P
+# ----------------------------------------------------------------------
+
+F1_USER_LUTS = 895_000
+F1_USER_FFS = 1_790_000
+F1_USER_BRAM_BLOCKS = 1_676     # 36 Kb blocks afforded to the user design
+
+# ----------------------------------------------------------------------
+# calibrated component costs
+# ----------------------------------------------------------------------
+
+# Channel monitor: forwarding muxes + packet capture per payload bit, plus
+# a handshake/reservation FSM per channel.
+MONITOR_LUT_PER_BIT = 6.1
+MONITOR_FF_PER_BIT = 11.0
+MONITOR_LUT_FIXED = 210
+MONITOR_FF_FIXED = 140
+
+# Encoder + decoder + replayer datapath per monitored payload bit.
+CODEC_LUT_PER_BIT = 6.4
+CODEC_FF_PER_BIT = 8.75
+CODEC_LUT_FIXED = 2_400
+CODEC_FF_FIXED = 1_800
+
+# Trace store: PCIe DMA engine + control.
+STORE_LUT_FIXED = 3_900
+STORE_FF_FIXED = 2_600
+
+# BRAM: staging/reservation buffers per monitored interface plus the store's
+# fixed packing buffers; 36 Kb blocks.
+BRAM_BLOCKS_FIXED = 24
+BRAM_BLOCKS_PER_INTERFACE_BIT = 0.03
+
+# Bound of the deterministic per-application perturbation (Vivado noise).
+APP_VARIATION_LUT = 0.025
+APP_VARIATION_FF = 0.012
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Absolute and normalised resource usage of one Vidi configuration."""
+
+    luts: float
+    ffs: float
+    bram_blocks: int
+    monitored_bits: int
+
+    @property
+    def lut_pct(self) -> float:
+        return 100.0 * self.luts / F1_USER_LUTS
+
+    @property
+    def ff_pct(self) -> float:
+        return 100.0 * self.ffs / F1_USER_FFS
+
+    @property
+    def bram_pct(self) -> float:
+        return 100.0 * self.bram_blocks / F1_USER_BRAM_BLOCKS
+
+
+_REFERENCE_INTERFACES = make_f1_interfaces("resmodel", with_ddr4=True,
+                                           with_axis=True)
+
+
+def interface_payload_bits(name: str) -> int:
+    """Monitored payload bits of one interface (136, 1324, or 577)."""
+    if name not in INTERFACE_KINDS:
+        raise ResourceModelError(f"unknown interface {name!r}")
+    return _REFERENCE_INTERFACES[name].payload_width
+
+
+def _app_perturbation(app: Optional[str]) -> Tuple[float, float]:
+    """Deterministic pseudo-Vivado variation for a given application."""
+    if not app:
+        return 0.0, 0.0
+    digest = hashlib.sha256(app.encode("utf-8")).digest()
+    lut = (digest[0] / 255.0) * APP_VARIATION_LUT
+    ff = (digest[1] / 255.0) * APP_VARIATION_FF
+    return lut, ff
+
+
+def shim_resources(interfaces: Sequence[str] = F1_INTERFACE_ORDER,
+                   app: Optional[str] = None,
+                   app_uses_pcim: bool = False) -> ResourceReport:
+    """Resource usage of a Vidi shim monitoring the given interfaces.
+
+    ``app`` selects the deterministic per-design perturbation;
+    ``app_uses_pcim`` adds the interconnect-sharing mux the DMA example
+    needs (the reason the paper's DMA row is the most expensive).
+    """
+    total_bits = 0
+    n_channels = 0
+    luts = CODEC_LUT_FIXED + STORE_LUT_FIXED
+    ffs = CODEC_FF_FIXED + STORE_FF_FIXED
+    bram = float(BRAM_BLOCKS_FIXED)
+    for name in interfaces:
+        bits = interface_payload_bits(name)
+        total_bits += bits
+        channels = len(_REFERENCE_INTERFACES[name].channels)
+        n_channels += channels
+        luts += MONITOR_LUT_FIXED * channels + MONITOR_LUT_PER_BIT * bits
+        ffs += MONITOR_FF_FIXED * channels + MONITOR_FF_PER_BIT * bits
+        bram += BRAM_BLOCKS_PER_INTERFACE_BIT * bits
+    luts += CODEC_LUT_PER_BIT * total_bits
+    ffs += CODEC_FF_PER_BIT * total_bits
+    if app_uses_pcim:
+        # Extra AXI-Interconnect ports multiplexing PCIe between the
+        # application's own pcim traffic and the trace store.
+        luts += 4_600
+        ffs += 8_800
+        bram += 0.0
+    lut_var, ff_var = _app_perturbation(app)
+    luts *= 1.0 + lut_var
+    ffs *= 1.0 + ff_var
+    return ResourceReport(
+        luts=luts, ffs=ffs,
+        bram_blocks=int(-(-bram // 1)),   # ceil to whole blocks
+        monitored_bits=total_bits,
+    )
+
+
+def table2_rows(app_keys_and_pcim: Iterable[Tuple[str, bool]]) -> Dict[str, ResourceReport]:
+    """Per-application full-configuration reports (the paper's Table 2)."""
+    return {
+        app: shim_resources(app=app, app_uses_pcim=uses_pcim)
+        for app, uses_pcim in app_keys_and_pcim
+    }
+
+
+# The Fig. 7 sweep: the paper's eleven interface combinations, in its order.
+FIG7_COMBINATIONS: Tuple[Tuple[str, ...], ...] = (
+    ("sda",),
+    ("sda", "ocl"),
+    ("sda", "ocl", "bar1"),
+    ("pcim",),
+    ("sda", "pcim"),
+    ("sda", "ocl", "pcim"),
+    ("sda", "ocl", "bar1", "pcim"),
+    ("pcim", "pcis"),
+    ("sda", "pcim", "pcis"),
+    ("sda", "ocl", "pcim", "pcis"),
+    ("sda", "ocl", "bar1", "pcim", "pcis"),
+)
+
+
+def fig7_sweep() -> Dict[Tuple[str, ...], ResourceReport]:
+    """Resource reports for every Fig. 7 interface combination."""
+    return {combo: shim_resources(interfaces=combo)
+            for combo in FIG7_COMBINATIONS}

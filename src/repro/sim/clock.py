@@ -1,0 +1,43 @@
+"""Clock-domain accounting.
+
+The paper's prototype runs its shim and all recorded interfaces in a single
+high-performance 250 MHz clock domain on AWS F1. The simulation kernel counts
+cycles; this module converts between cycles and wall-clock time so reports can
+be phrased in the paper's units (seconds, GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+F1_CLOCK_HZ = 250_000_000
+"""The AWS F1 high-performance clock used by the paper's prototype (250 MHz)."""
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with a fixed frequency."""
+
+    name: str = "clk_main_a0"
+    frequency_hz: int = F1_CLOCK_HZ
+
+    @property
+    def period_s(self) -> float:
+        """Length of one cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Wall-clock duration of ``cycles`` at this frequency."""
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Number of whole cycles elapsing in ``seconds``."""
+        return int(seconds * self.frequency_hz)
+
+    def bandwidth_bytes_per_cycle(self, bytes_per_second: float) -> float:
+        """Convert a byte/s bandwidth into bytes per clock cycle."""
+        return bytes_per_second / self.frequency_hz
+
+
+DEFAULT_CLOCK = ClockDomain()

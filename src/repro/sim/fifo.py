@@ -1,0 +1,157 @@
+"""FIFO primitives, including the buggy Frame FIFO from the debugging study.
+
+:class:`SyncFIFO` is a correct bounded FIFO used throughout the platform and
+the Vidi shim (monitor staging, store buffers).
+
+:class:`FrameFIFO` reproduces the buggy open-source frame FIFO that §5.2's
+echo server is built on (ported by the authors from the FPGA-bug survey
+[Ma et al., ASPLOS'22]). The FIFO groups fixed-size data fragments into
+frames. A correct implementation blocks the producer while a whole frame
+does not fit; the buggy one accepts fragments until the storage fills and
+then silently *drops* the rest of the frame — data loss that only manifests
+when the incoming frame size is unaligned with the remaining capacity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+
+
+class SyncFIFO(Generic[T]):
+    """A correct bounded FIFO with explicit full/empty flow control."""
+
+    def __init__(self, name: str, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"fifo {name!r}: capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def space(self) -> int:
+        """Number of additional items the FIFO can accept."""
+        return self.capacity - len(self._items)
+
+    def push(self, item: T) -> None:
+        """Enqueue; raises if full (callers must check ``is_full`` first)."""
+        if self.is_full:
+            raise SimulationError(f"fifo {self.name!r}: push when full")
+        self._items.append(item)
+
+    def pop(self) -> T:
+        """Dequeue; raises if empty (callers must check ``is_empty`` first)."""
+        if not self._items:
+            raise SimulationError(f"fifo {self.name!r}: pop when empty")
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """Return the head without removing it."""
+        if not self._items:
+            raise SimulationError(f"fifo {self.name!r}: peek when empty")
+        return self._items[0]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+class FrameFIFO:
+    """Frame-grouping FIFO with an optional injected data-loss bug.
+
+    Fragments are 32-bit values; ``frame_size`` fragments form a frame.
+    The consumer pops fragments one at a time.
+
+    * ``buggy=False``: the FIFO only accepts a new frame's first fragment if
+      the whole frame fits; otherwise it reports "not ready" (back-pressure).
+    * ``buggy=True``: readiness is (incorrectly) computed per fragment, so a
+      frame can start when only part of it fits. Fragments that arrive while
+      the storage is full are dropped silently — the §5.2 bug.
+    """
+
+    def __init__(self, name: str, capacity_fragments: int, frame_size: int,
+                 buggy: bool = False):
+        if capacity_fragments < frame_size:
+            raise SimulationError(
+                f"frame fifo {name!r}: capacity {capacity_fragments} smaller "
+                f"than one frame ({frame_size})"
+            )
+        self.name = name
+        self.capacity = capacity_fragments
+        self.frame_size = frame_size
+        self.buggy = buggy
+        self._items: Deque[int] = deque()
+        self._frame_pos = 0          # fragments of the current frame accepted so far
+        self.dropped_fragments = 0   # observability for LossCheck-style tools
+        self.dropped_log: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def ready_for_push(self) -> bool:
+        """Whether the FIFO accepts the next fragment this cycle."""
+        if self.buggy:
+            # Bug: per-fragment readiness; a frame may start without room
+            # for its tail fragments.
+            return len(self._items) < self.capacity
+        if self._frame_pos == 0:
+            # Correct: admit a frame only when it fits entirely.
+            return self.capacity - len(self._items) >= self.frame_size
+        return len(self._items) < self.capacity
+
+    def push(self, fragment: int) -> bool:
+        """Offer one fragment; returns ``True`` if stored, ``False`` if dropped.
+
+        The correct FIFO never drops — callers gate on ``ready_for_push`` and
+        a push while not ready raises. The buggy FIFO drops mid-frame
+        fragments that arrive while full, recording them for diagnosis.
+        """
+        if self.buggy:
+            self._frame_pos = (self._frame_pos + 1) % self.frame_size
+            if len(self._items) < self.capacity:
+                self._items.append(fragment & 0xFFFF_FFFF)
+                return True
+            self.dropped_fragments += 1
+            self.dropped_log.append(fragment & 0xFFFF_FFFF)
+            return False
+        if not self.ready_for_push():
+            raise SimulationError(f"frame fifo {self.name!r}: push when not ready")
+        self._items.append(fragment & 0xFFFF_FFFF)
+        self._frame_pos = (self._frame_pos + 1) % self.frame_size
+        return True
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def pop(self) -> int:
+        """Dequeue one fragment."""
+        if not self._items:
+            raise SimulationError(f"frame fifo {self.name!r}: pop when empty")
+        return self._items.popleft()
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._frame_pos = 0
+        self.dropped_fragments = 0
+        self.dropped_log.clear()

@@ -1,0 +1,88 @@
+"""Module: the unit of simulated hardware.
+
+A module groups signals and behaviour. Subclasses override:
+
+* ``comb()`` — drive combinational outputs from current signal values. Called
+  one or more times per cycle until all signals settle. Must be idempotent
+  for a given set of input values and must drive *all* combinational outputs
+  unconditionally.
+* ``seq()`` — clocked behaviour. Called exactly once per cycle, after the
+  combinational fixpoint, with all signals stable. State updates that other
+  modules observe must go through ``Signal.set_next``; private Python state
+  may be mutated directly (it plays the role of registers that never feed
+  combinational paths of other modules).
+
+Set ``has_comb = False`` on subclasses with no combinational process; the
+simulator then skips them during delta iteration, which is a significant
+speedup for large designs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.signal import Signal
+
+
+class Module:
+    """Base class for simulated hardware modules."""
+
+    has_comb: bool = True
+
+    def __init__(self, name: str):
+        self.name = name
+        self._signals: List[Signal] = []
+        self._children: List["Module"] = []
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def signal(self, name: str, width: int = 1, reset: int = 0) -> Signal:
+        """Create a signal owned by this module and register it."""
+        sig = Signal(f"{self.name}.{name}", width=width, reset=reset)
+        self._signals.append(sig)
+        return sig
+
+    def adopt(self, sig: Signal) -> Signal:
+        """Register an externally created signal so it binds with this module."""
+        self._signals.append(sig)
+        return sig
+
+    def submodule(self, module: "Module") -> "Module":
+        """Register a child module; the simulator flattens the hierarchy."""
+        self._children.append(module)
+        return module
+
+    # ------------------------------------------------------------------
+    # elaboration
+    # ------------------------------------------------------------------
+    def bind(self, sim) -> None:
+        """Bind all owned signals to the simulator (called at elaboration)."""
+        for sig in self._signals:
+            sig.bind(sim)
+
+    def flatten(self) -> List["Module"]:
+        """This module followed by all descendants, depth-first."""
+        out = [self]
+        for child in self._children:
+            out.extend(child.flatten())
+        return out
+
+    # ------------------------------------------------------------------
+    # behaviour (overridden by subclasses)
+    # ------------------------------------------------------------------
+    def comb(self) -> None:
+        """Combinational process; default does nothing."""
+
+    def seq(self) -> None:
+        """Sequential (clocked) process; default does nothing."""
+
+    def reset_state(self) -> None:
+        """Restore power-on state; subclasses with Python-state registers extend."""
+        for sig in self._signals:
+            sig.reset_value()
+        for child in self._children:
+            child.reset_state()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

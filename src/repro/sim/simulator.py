@@ -1,0 +1,129 @@
+"""The delta-cycle synchronous simulator.
+
+Each call to :meth:`Simulator.step` simulates one clock cycle:
+
+1. **Combinational settling.** Every module's ``comb()`` runs; if any signal
+   changed value, another pass runs, up to ``max_delta`` passes. Failure to
+   settle raises :class:`~repro.errors.CombinationalLoopError`.
+2. **Sequential update.** Every module's ``seq()`` runs exactly once against
+   the settled signal values.
+3. **Commit.** All values staged with ``Signal.set_next`` become visible
+   simultaneously, emulating a single rising clock edge.
+
+The simulator intentionally supports only a single clock domain: the paper's
+prototype likewise requires all recorded/replayed interfaces to share one
+clock (AWS F1 enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import CombinationalLoopError, SimulationError, WatchdogTimeout
+from repro.sim.module import Module
+from repro.sim.signal import Signal
+
+
+class Simulator:
+    """Owns a flattened set of modules and advances them cycle by cycle."""
+
+    def __init__(self, name: str = "sim", max_delta: int = 64):
+        self.name = name
+        self.max_delta = max_delta
+        self.cycle = 0
+        self.modules: List[Module] = []
+        self._comb_modules: List[Module] = []
+        self._staged: List[Signal] = []
+        self._dirty = False
+        self._elaborated = False
+        self._cycle_hooks: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, module: Module) -> Module:
+        """Register a module tree; returns the module for chaining."""
+        if self._elaborated:
+            raise SimulationError("cannot add modules after elaboration")
+        self.modules.extend(module.flatten())
+        return module
+
+    def add_cycle_hook(self, hook: Callable[[int], None]) -> None:
+        """Run ``hook(cycle)`` after each committed cycle (used by waveforms)."""
+        self._cycle_hooks.append(hook)
+
+    def elaborate(self) -> None:
+        """Bind signals and freeze the module set. Idempotent."""
+        if self._elaborated:
+            return
+        for module in self.modules:
+            module.bind(self)
+        self._comb_modules = [m for m in self.modules if m.has_comb]
+        self._elaborated = True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Simulate one clock cycle."""
+        if not self._elaborated:
+            self.elaborate()
+        comb_modules = self._comb_modules
+        for _ in range(self.max_delta):
+            self._dirty = False
+            for module in comb_modules:
+                module.comb()
+            if not self._dirty:
+                break
+        else:
+            raise CombinationalLoopError(
+                f"{self.name}: combinational logic did not settle in "
+                f"{self.max_delta} delta passes at cycle {self.cycle}"
+            )
+        for module in self.modules:
+            module.seq()
+        staged = self._staged
+        if staged:
+            for sig in staged:
+                sig._commit()
+            staged.clear()
+        self.cycle += 1
+        for hook in self._cycle_hooks:
+            hook(self.cycle)
+
+    def run(self, cycles: int) -> None:
+        """Simulate a fixed number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int,
+        what: Optional[str] = None,
+    ) -> int:
+        """Step until ``predicate()`` is true; return cycles consumed.
+
+        Raises :class:`~repro.errors.WatchdogTimeout` after ``max_cycles``
+        steps without the predicate holding — the reproduction's deadlock
+        detector.
+        """
+        start = self.cycle
+        for _ in range(max_cycles):
+            if predicate():
+                return self.cycle - start
+            self.step()
+        if predicate():
+            return self.cycle - start
+        raise WatchdogTimeout(
+            f"{self.name}: {what or 'condition'} not reached within "
+            f"{max_cycles} cycles (cycle {self.cycle})"
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return every module and signal to power-on state; cycle goes to 0."""
+        for module in self.modules:
+            module.reset_state()
+        self._staged.clear()
+        self.cycle = 0

@@ -1,0 +1,90 @@
+"""VCD (Value Change Dump) export for recorded waveforms.
+
+Vendor simulators produce VCD files that waveform viewers (GTKWave,
+Surfer, ...) open; this module gives the reproduction's
+:class:`~repro.sim.waveform.WaveformRecorder` the same escape hatch, so a
+replayed execution can be inspected with standard tooling — the "replay a
+hardware trace in simulation and look at the waves" workflow of §5.2.
+
+The writer emits standard IEEE-1364 VCD: a header with a timescale and a
+flat scope, one ``$var`` per recorded signal, full ``$dumpvars`` initial
+values, and per-cycle value changes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.sim.clock import DEFAULT_CLOCK, ClockDomain
+from repro.sim.waveform import WaveformRecorder
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier for the index-th signal."""
+    if index == 0:
+        return _ID_CHARS[0]
+    out = []
+    while index:
+        index, digit = divmod(index, len(_ID_CHARS))
+        out.append(_ID_CHARS[digit])
+    return "".join(out)
+
+
+def _sanitise(name: str) -> str:
+    return name.replace(" ", "_")
+
+
+def render_vcd(recorder: WaveformRecorder, module: str = "vidi",
+               clock: ClockDomain = DEFAULT_CLOCK) -> str:
+    """Render a recorder's full history as VCD text."""
+    period_ns = clock.period_s * 1e9
+    lines: List[str] = [
+        "$date repro vidi reproduction $end",
+        "$version repro.sim.vcd $end",
+        f"$timescale {max(int(period_ns), 1)}ns $end",
+        f"$scope module {_sanitise(module)} $end",
+    ]
+    ids: Dict[str, str] = {}
+    for index, signal in enumerate(recorder.signals):
+        ids[signal.name] = _identifier(index)
+        lines.append(
+            f"$var wire {signal.width} {ids[signal.name]} "
+            f"{_sanitise(signal.name)} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    def change(signal, value: int) -> str:
+        ident = ids[signal.name]
+        if signal.width == 1:
+            return f"{value & 1}{ident}"
+        return f"b{value:b} {ident}"
+
+    histories = [recorder.history[s.name] for s in recorder.signals]
+    depth = min((len(h) for h in histories), default=0)
+    lines.append("$dumpvars")
+    for signal, history in zip(recorder.signals, histories):
+        initial = history[0] if history else 0
+        lines.append(change(signal, initial))
+    lines.append("$end")
+    previous = [h[0] if h else 0 for h in histories]
+    for cycle in range(1, depth):
+        changes = []
+        for position, (signal, history) in enumerate(
+                zip(recorder.signals, histories)):
+            if history[cycle] != previous[position]:
+                changes.append(change(signal, history[cycle]))
+                previous[position] = history[cycle]
+        if changes:
+            lines.append(f"#{cycle}")
+            lines.extend(changes)
+    lines.append(f"#{max(depth, 1)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_vcd(recorder: WaveformRecorder, path: str | Path,
+              module: str = "vidi") -> None:
+    """Write the recorder's history to a ``.vcd`` file."""
+    Path(path).write_text(render_vcd(recorder, module=module))

@@ -1,0 +1,65 @@
+"""Waveform capture and ASCII rendering.
+
+The reproduction's stand-in for a vendor waveform viewer. A
+:class:`WaveformRecorder` snapshots a chosen set of signals after every
+committed cycle; :func:`render_ascii` draws the history in the style of the
+paper's Fig. 1 (VALID/READY handshake), with ``_`` / ``‾`` rails for 1-bit
+signals and hex values for buses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sim.signal import Signal
+from repro.sim.simulator import Simulator
+
+
+class WaveformRecorder:
+    """Records the per-cycle history of selected signals."""
+
+    def __init__(self, sim: Simulator, signals: Sequence[Signal]):
+        self.signals = list(signals)
+        self.history: Dict[str, List[int]] = {sig.name: [] for sig in self.signals}
+        sim.add_cycle_hook(self._sample)
+
+    def _sample(self, cycle: int) -> None:
+        for sig in self.signals:
+            self.history[sig.name].append(sig.value)
+
+    def values(self, signal: Signal) -> List[int]:
+        """Full per-cycle history of one recorded signal."""
+        return self.history[signal.name]
+
+
+def render_ascii(recorder: WaveformRecorder, start: int = 0,
+                 end: int | None = None) -> str:
+    """Render recorded signals as a text waveform.
+
+    One-bit signals render as low (``_``) / high (``‾``) rails; wider signals
+    render their hex value at each change and ``.`` while stable.
+    """
+    lines: List[str] = []
+    name_width = max((len(s.name) for s in recorder.signals), default=0)
+    any_history = next(iter(recorder.history.values()), [])
+    stop = len(any_history) if end is None else min(end, len(any_history))
+    header = " " * (name_width + 2) + "".join(
+        f"{c % 100:<4d}" for c in range(start, stop, 4)
+    )
+    lines.append(header)
+    for sig in recorder.signals:
+        values = recorder.history[sig.name][start:stop]
+        if sig.width == 1:
+            body = "".join("‾" if v else "_" for v in values)
+        else:
+            cells: List[str] = []
+            prev = object()
+            for v in values:
+                if v != prev:
+                    cells.append(f"{v:x}"[:1])
+                    prev = v
+                else:
+                    cells.append(".")
+            body = "".join(cells)
+        lines.append(f"{sig.name:<{name_width}}  {body}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Offline trace tools (the paper's §4.2 C++ tool suite, as a Python CLI)."""
+
+from repro.tools.cli import main
+from repro.tools.fuzz import FuzzOutcome, fuzz_replay, render_fuzz
+
+__all__ = ["FuzzOutcome", "fuzz_replay", "main", "render_fuzz"]

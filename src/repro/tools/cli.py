@@ -1,0 +1,316 @@
+"""Offline trace tools: the command-line analogue of Vidi's C++ tooling.
+
+The paper ships offline trace-analysis tools (a validation tool that
+detects divergences by comparing two traces, and a mutation tool that
+reorders transaction events, §4.2). This module provides them — plus
+inspection commands — behind one CLI::
+
+    python -m repro.tools info     run.trace
+    python -m repro.tools stats    run.trace
+    python -m repro.tools dump     run.trace --channel pcim.w --limit 20
+    python -m repro.tools diff     reference.trace validation.trace
+    python -m repro.tools mutate   run.trace -o mutated.trace \
+        --move-end-before pcim.w:0 pcim.aw:0
+    python -m repro.tools profile  run.trace
+    python -m repro.tools audit    run.trace --allow pcim:write:0x10000:0x1000
+    python -m repro.tools coverage run1.trace run2.trace ...
+
+Commands print to stdout and exit non-zero on divergences (``diff``),
+policy violations (``audit``) or invalid mutations, so they compose in
+scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.metrics import fmt_bytes
+from repro.analysis.tables import render_table
+from repro.core.divergence import compare_traces
+from repro.core.mutation import EventRef, TraceMutator
+from repro.core.trace_file import TraceFile
+from repro.errors import ReproError
+
+
+def _parse_event(text: str, kind: str) -> EventRef:
+    """Parse ``channel:occurrence`` into an :class:`EventRef`."""
+    try:
+        channel, occurrence = text.rsplit(":", 1)
+        return EventRef(kind, channel, int(occurrence))
+    except ValueError:
+        raise ReproError(
+            f"expected CHANNEL:OCCURRENCE (e.g. pcim.w:0), got {text!r}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_info(args) -> int:
+    trace = TraceFile.load(args.trace)
+    packets = trace.packets()
+    print(f"trace      : {args.trace}")
+    print(f"body       : {fmt_bytes(trace.size_bytes)} "
+          f"({len(packets)} cycle packets)")
+    print(f"validation : {'output contents recorded' if trace.with_validation else 'no'}")
+    if trace.metadata:
+        print(f"metadata   : {trace.metadata}")
+    print(render_table(
+        f"channel table ({trace.table.n} channels)",
+        ["#", "Channel", "Dir", "Payload bits", "Content bytes"],
+        [[c.index, c.name, c.direction, c.payload_bits, c.content_bytes]
+         for c in trace.table.channels]))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    trace = TraceFile.load(args.trace)
+    table = trace.table
+    starts = [0] * table.n
+    ends = [0] * table.n
+    content_bytes = [0] * table.n
+    for packet in trace.packets():
+        for index in range(table.n):
+            if (packet.starts >> index) & 1:
+                starts[index] += 1
+                content_bytes[index] += table[index].content_bytes
+            if (packet.ends >> index) & 1:
+                ends[index] += 1
+    rows = []
+    for index in range(table.n):
+        if starts[index] == 0 and ends[index] == 0 and not args.all:
+            continue
+        rows.append([table[index].name, table[index].direction,
+                     starts[index], ends[index],
+                     fmt_bytes(content_bytes[index])])
+    print(render_table("per-channel transaction statistics",
+                       ["Channel", "Dir", "Starts", "Ends", "Content"],
+                       rows))
+    return 0
+
+
+def cmd_dump(args) -> int:
+    trace = TraceFile.load(args.trace)
+    table = trace.table
+    wanted: Optional[int] = None
+    if args.channel:
+        wanted = table.by_name(args.channel).index
+    printed = 0
+    for packet_index, packet in enumerate(trace.packets()):
+        for index in range(table.n):
+            if wanted is not None and index != wanted:
+                continue
+            events: List[str] = []
+            if (packet.starts >> index) & 1:
+                content = packet.contents.get(index, b"")
+                events.append(f"start content={content.hex()}")
+            if (packet.ends >> index) & 1:
+                suffix = ""
+                if index in packet.validation:
+                    suffix = f" content={packet.validation[index].hex()}"
+                events.append(f"end{suffix}")
+            for event in events:
+                print(f"packet {packet_index:6d}  {table[index].name:<12s} {event}")
+                printed += 1
+                if args.limit and printed >= args.limit:
+                    return 0
+    return 0
+
+
+def cmd_diff(args) -> int:
+    reference = TraceFile.load(args.reference)
+    validation = TraceFile.load(args.validation)
+    report = compare_traces(reference, validation)
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def cmd_mutate(args) -> int:
+    trace = TraceFile.load(args.trace)
+    mutator = TraceMutator(trace)
+    for moved_text, anchor_text in args.move_end_before or []:
+        mutator.move_end_before(_parse_event(moved_text, "end"),
+                                _parse_event(anchor_text, "end"))
+    for dropped in args.drop_end or []:
+        mutator.drop_event(_parse_event(dropped, "end"))
+    for dropped in args.drop_start or []:
+        mutator.drop_event(_parse_event(dropped, "start"))
+    for target, hex_content in args.rewrite_content or []:
+        mutator.rewrite_start_content(_parse_event(target, "start"),
+                                      bytes.fromhex(hex_content))
+    problem = mutator.validate()
+    if problem and not args.force:
+        print(f"mutation produces an inconsistent trace: {problem}",
+              file=sys.stderr)
+        return 2
+    mutator.build().save(args.output)
+    print(f"mutated trace written to {args.output}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.analysis.profile import profile_trace, render_profile
+
+    trace = TraceFile.load(args.trace)
+    print(render_profile(profile_trace(trace, timeline_buckets=args.buckets)))
+    return 0
+
+
+def _parse_window(text: str):
+    """Parse ``interface:ops:base:length`` into (interface, MemoryWindow)."""
+    from repro.analysis.audit import MemoryWindow
+
+    try:
+        interface, ops, base, length = text.split(":")
+        return interface, MemoryWindow(
+            base=int(base, 0), length=int(length, 0),
+            allow_read="read" in ops or ops == "rw",
+            allow_write="write" in ops or ops == "rw")
+    except ValueError:
+        raise ReproError(
+            "expected IFACE:OPS:BASE:LEN (e.g. pcim:write:0x10000:0x1000), "
+            f"got {text!r}") from None
+
+
+def cmd_audit(args) -> int:
+    from repro.analysis.audit import AuditPolicy, audit_trace, render_audit
+
+    trace = TraceFile.load(args.trace)
+    policies = {}
+    for spec in args.allow or []:
+        interface, window = _parse_window(spec)
+        policies.setdefault(interface,
+                            AuditPolicy(interface=interface)).windows.append(
+                                window)
+    violations = audit_trace(trace, list(policies.values()))
+    print(render_audit(violations))
+    return 0 if not violations else 1
+
+
+def cmd_fuzz(args) -> int:
+    """Fuzz an application with random mutations of one of its traces."""
+    from repro.apps.registry import get_app
+    from repro.tools.fuzz import fuzz_replay, render_fuzz
+
+    spec = get_app(args.app)
+    trace = TraceFile.load(args.trace)
+    under_test = spec.make()[0]
+    reference = None
+    if args.reference_app:
+        reference = get_app(args.reference_app).make()[0]
+    outcomes = fuzz_replay(trace, under_test, n_mutants=args.mutants,
+                           seed=args.seed, max_cycles=args.max_cycles,
+                           reference_factory=reference)
+    print(render_fuzz(outcomes))
+    return 0 if not any(o.verdict == "deadlock" for o in outcomes) else 1
+
+
+def cmd_coverage(args) -> int:
+    from repro.analysis.coverage import OrderingCoverage, render_coverage
+
+    coverage = OrderingCoverage(window=args.window)
+    for path in args.traces:
+        added = coverage.add_trace(TraceFile.load(path))
+        print(f"{path}: +{added} ordering observation(s)")
+    print(render_coverage(coverage))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="Offline tools for Vidi traces (inspect, validate, mutate)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="header and channel table")
+    p_info.add_argument("trace")
+    p_info.set_defaults(func=cmd_info)
+
+    p_stats = sub.add_parser("stats", help="per-channel transaction counts")
+    p_stats.add_argument("trace")
+    p_stats.add_argument("--all", action="store_true",
+                         help="include channels with no traffic")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_dump = sub.add_parser("dump", help="list transaction events")
+    p_dump.add_argument("trace")
+    p_dump.add_argument("--channel", help="restrict to one channel name")
+    p_dump.add_argument("--limit", type=int, default=0,
+                        help="stop after N events (0 = all)")
+    p_dump.set_defaults(func=cmd_dump)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare a reference and a validation trace (§3.6)")
+    p_diff.add_argument("reference")
+    p_diff.add_argument("validation")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_mut = sub.add_parser("mutate", help="reorder/drop/rewrite events (§5.3)")
+    p_mut.add_argument("trace")
+    p_mut.add_argument("-o", "--output", required=True)
+    p_mut.add_argument("--move-end-before", nargs=2, action="append",
+                       metavar=("MOVED", "ANCHOR"),
+                       help="reorder end MOVED (CH:OCC) before end ANCHOR")
+    p_mut.add_argument("--drop-end", action="append", metavar="CH:OCC")
+    p_mut.add_argument("--drop-start", action="append", metavar="CH:OCC")
+    p_mut.add_argument("--rewrite-content", nargs=2, action="append",
+                       metavar=("CH:OCC", "HEX"))
+    p_mut.add_argument("--force", action="store_true",
+                       help="write even if the result fails validation")
+    p_mut.set_defaults(func=cmd_mutate)
+
+    p_prof = sub.add_parser("profile",
+                            help="per-channel throughput/latency profile")
+    p_prof.add_argument("trace")
+    p_prof.add_argument("--buckets", type=int, default=20)
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_aud = sub.add_parser("audit",
+                           help="check DMA addresses against a policy")
+    p_aud.add_argument("trace")
+    p_aud.add_argument("--allow", action="append",
+                       metavar="IFACE:OPS:BASE:LEN",
+                       help="allowed window, e.g. pcim:write:0x10000:0x1000")
+    p_aud.set_defaults(func=cmd_audit)
+
+    p_cov = sub.add_parser("coverage",
+                           help="ordering coverage across traces")
+    p_cov.add_argument("traces", nargs="+")
+    p_cov.add_argument("--window", type=int, default=4)
+    p_cov.set_defaults(func=cmd_coverage)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="replay random mutations of a trace against an app "
+        "(exit 1 when a deadlock bug is found)")
+    p_fuzz.add_argument("app", help="registry key of the design under test")
+    p_fuzz.add_argument("trace")
+    p_fuzz.add_argument("--mutants", type=int, default=20)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--max-cycles", type=int, default=20_000)
+    p_fuzz.add_argument("--reference-app",
+                        help="known-good design for causal triage")
+    p_fuzz.set_defaults(func=cmd_fuzz)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

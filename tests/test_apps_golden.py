@@ -1,0 +1,244 @@
+"""Golden-model unit tests for every application kernel, plus a
+record-correctness sweep across all ten benchmarks."""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.apps import (
+    bnn,
+    digit_recognition,
+    face_detection,
+    mobilenet,
+    optical_flow,
+    rendering3d,
+    sha256,
+    spam_filter,
+    sssp,
+)
+from repro.apps.registry import APPS, app_keys, get_app
+from repro.core import VidiConfig
+from repro.errors import ConfigError
+from repro.harness.runner import bench_config, record_run
+
+
+class TestSha256Golden:
+    @pytest.mark.parametrize("message", [
+        b"", b"abc", b"a" * 55, b"b" * 56, b"c" * 64, b"d" * 200,
+    ])
+    def test_matches_hashlib(self, message):
+        assert sha256.sha256_digest(message) == \
+            hashlib.sha256(message).digest()
+
+    def test_padding_length_multiple_of_block(self):
+        for n in range(0, 130, 7):
+            assert len(sha256.sha256_pad(b"x" * n)) % 64 == 0
+
+
+class TestSsspGolden:
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        rng = random.Random(5)
+        edges = sssp.random_graph(rng, 24, 80)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(24))
+        for a, b, w in edges:
+            if graph.has_edge(a, b):
+                w = min(w, graph[a][b]["weight"])
+            graph.add_edge(a, b, weight=w)
+        lengths = nx.single_source_dijkstra_path_length(graph, 0,
+                                                        weight="weight")
+        dist = sssp.bellman_ford(24, edges, 0)
+        for v in range(24):
+            if v in lengths:
+                assert dist[v] == lengths[v]
+            else:
+                assert dist[v] == sssp.INFINITY
+
+    def test_source_distance_zero(self):
+        assert sssp.bellman_ford(4, [(0, 1, 3)], 0)[0] == 0
+
+    def test_unreachable_is_infinity(self):
+        dist = sssp.bellman_ford(3, [(0, 1, 1)], 0)
+        assert dist[2] == sssp.INFINITY
+
+
+class TestBnnGolden:
+    def test_deterministic(self):
+        rng = random.Random(1)
+        weights = bytes(rng.getrandbits(8)
+                        for _ in range(bnn.W1_BYTES + bnn.W2_BYTES))
+        x = rng.getrandbits(bnn.IN_BITS)
+        assert bnn.bnn_infer(weights, x) == bnn.bnn_infer(weights, x)
+
+    def test_prediction_in_range(self):
+        rng = random.Random(2)
+        weights = bytes(rng.getrandbits(8)
+                        for _ in range(bnn.W1_BYTES + bnn.W2_BYTES))
+        for _ in range(10):
+            x = rng.getrandbits(bnn.IN_BITS)
+            assert 0 <= bnn.bnn_infer(weights, x) < bnn.CLASSES
+
+    def test_all_match_weights_maximises_first_layer(self):
+        # A weight row equal to the input gives the maximal neuron response.
+        x = random.Random(3).getrandbits(bnn.IN_BITS)
+        w1 = x.to_bytes(32, "little") * bnn.HIDDEN
+        w2 = bytes(bnn.W2_BYTES)
+        prediction = bnn.bnn_infer(w1 + w2, x)
+        assert 0 <= prediction < bnn.CLASSES
+
+
+class TestKnnGolden:
+    def test_exact_match_wins(self):
+        train = [(0b1010, 3), (0b1111, 7), (0b0000, 1)]
+        # K=3 looks at all three, but distance 0 plus two ties: the label of
+        # the closest group wins through majority/min-distance ordering.
+        assert digit_recognition.knn_classify(train + [(0b1010, 3),
+                                                       (0b1010, 3)],
+                                              0b1010) == 3
+
+    def test_majority_vote(self):
+        train = [(0b0001, 2), (0b0010, 2), (0b0100, 5)]
+        assert digit_recognition.knn_classify(train, 0) == 2
+
+    def test_pack_training_record_size(self):
+        blob = digit_recognition.pack_training([(1, 2), (3, 4)])
+        assert len(blob) == 2 * digit_recognition.DIGIT_BYTES
+
+
+class TestRasteriserGolden:
+    def test_fullscreen_triangle_covers_origin_region(self):
+        tri = (0, 0, 10, 63, 0, 10, 0, 63, 10)
+        fb = rendering3d.rasterise([tri])
+        assert fb[0] != 0                      # origin covered
+        assert fb[63 * 64 + 63] == 0           # far corner not covered
+
+    def test_depth_test_keeps_nearer_triangle(self):
+        near = (0, 0, 10, 63, 0, 10, 0, 63, 10)
+        far = (0, 0, 200, 63, 0, 200, 0, 63, 200)
+        fb_near_first = rendering3d.rasterise([near, far])
+        fb_far_first = rendering3d.rasterise([far, near])
+        assert fb_near_first == fb_far_first   # order-independent
+        assert fb_near_first[0] == 255 - 10
+
+    def test_winding_insensitive(self):
+        cw = (0, 0, 10, 0, 63, 10, 63, 0, 10)
+        ccw = (0, 0, 10, 63, 0, 10, 0, 63, 10)
+        assert rendering3d.rasterise([cw]) == rendering3d.rasterise([ccw])
+
+
+class TestCascadeGolden:
+    def test_integral_image_sums(self):
+        pixels = bytes([1] * (32 * 32))
+        ii = face_detection.integral_image(pixels)
+        assert ii[32][32] == 32 * 32
+        assert ii[1][1] == 1
+
+    def test_bright_top_blob_detected(self):
+        pixels = bytearray(32 * 32)
+        for y in range(8):
+            for x in range(8):
+                pixels[(4 + y) * 32 + 4 + x] = 240 - 25 * y
+        bitmap = face_detection.detect_faces(bytes(pixels))
+        positions = 32 - 8 + 1
+        assert bitmap[4 * positions + 4] == 1
+
+    def test_flat_image_rejected(self):
+        bitmap = face_detection.detect_faces(bytes([100] * (32 * 32)))
+        assert all(b == 0 for b in bitmap)
+
+
+class TestSpamFilterGolden:
+    def test_separable_data_trains_usable_weights(self):
+        rng = random.Random(4)
+        samples = []
+        for _ in range(200):
+            label = rng.randrange(2)
+            base = 60 if label else -60
+            samples.append(([base + rng.randrange(-20, 21)
+                             for _ in range(spam_filter.FEATURES)], label))
+        weights = spam_filter.sgd_train(samples)
+        # Positive labels correlate with positive features -> positive dot.
+        correct = 0
+        for features, label in samples[:50]:
+            dot = sum(w * f for w, f in zip(weights, features))
+            correct += (dot > 0) == bool(label)
+        assert correct >= 40
+
+    def test_fixed_point_clipping(self):
+        assert spam_filter._clip16(1 << 20) == (1 << 15) - 1
+        assert spam_filter._clip16(-(1 << 20)) == -(1 << 15)
+
+    def test_sigmoid_saturation(self):
+        assert spam_filter._sigmoid_q(-(10 << 8)) == 0
+        assert spam_filter._sigmoid_q(10 << 8) == 1 << 8
+        assert spam_filter._sigmoid_q(0) == 1 << 7
+
+
+class TestOpticalFlowGolden:
+    def test_uniform_shift_detected(self):
+        # 2-D texture: a pure 1-D gradient makes the structure tensor
+        # singular (the aperture problem) and the solver returns zero.
+        rng = random.Random(6)
+        f0 = bytearray(32 * 32)
+        for y in range(32):
+            for x in range(32):
+                f0[y * 32 + x] = (x * 13 + y * 7 + (x * y) % 5 * 11) % 256
+        f1 = bytearray(32 * 32)
+        for y in range(32):
+            for x in range(32):
+                f1[y * 32 + x] = f0[y * 32 + max(0, x - 1)]
+        flow = optical_flow.optical_flow(bytes(f0), bytes(f1))
+        # Interior pixels should report positive horizontal flow.
+        us = []
+        for y in range(8, 24):
+            for x in range(8, 24):
+                u = flow[2 * (y * 32 + x)]
+                us.append(u - 256 if u & 0x80 else u)
+        assert sum(us) > 0
+
+    def test_static_scene_zero_flow(self):
+        frame = bytes(random.Random(7).getrandbits(8) for _ in range(32 * 32))
+        flow = optical_flow.optical_flow(frame, frame)
+        assert all(b == 0 for b in flow)
+
+
+class TestMobilenetGolden:
+    def test_deterministic_and_in_range(self):
+        rng = random.Random(8)
+        weights = bytes(rng.getrandbits(8) for _ in range(mobilenet.W_BYTES))
+        image = bytes(rng.getrandbits(8) for _ in range(mobilenet.IMG_BYTES))
+        a = mobilenet.mobilenet_infer(weights, image)
+        assert a == mobilenet.mobilenet_infer(weights, image)
+        assert 0 <= a < mobilenet.CLASSES
+
+    def test_zero_weights_pick_class_zero(self):
+        image = bytes(mobilenet.IMG_BYTES)
+        assert mobilenet.mobilenet_infer(bytes(mobilenet.W_BYTES), image) == 0
+
+
+class TestRegistry:
+    def test_ten_apps_registered(self):
+        assert len(APPS) == 10
+        assert app_keys()[0] == "dram_dma"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigError):
+            get_app("quantum_fft")
+
+    def test_paper_rows_complete(self):
+        for spec in APPS.values():
+            assert spec.paper.exec_time_s > 0
+            assert spec.paper.reduction > 0
+
+
+@pytest.mark.parametrize("key", list(APPS))
+def test_every_app_records_correct_output(key):
+    """§5.4 'Recording': R2 must not alter any application's result."""
+    spec = get_app(key)
+    metrics = record_run(spec, bench_config(VidiConfig.r2), seed=55,
+                         scale=0.4)
+    assert metrics.trace_bytes > 0
+    assert metrics.monitored_transactions > 0

@@ -1,0 +1,178 @@
+"""Tests for the cycle-accurate and order-less baselines, incl. §6 math."""
+
+import pytest
+
+from repro.baselines import (
+    CycleAccurateRecorder,
+    CycleAccurateReplayer,
+    OrderlessRecorder,
+    OrderlessReplayer,
+    cycle_accurate_trace_bytes,
+    input_signal_bits,
+    panopticon_envelope,
+)
+from repro.channels import Channel, ChannelSink, ChannelSource, Field, PayloadSpec
+from repro.sim import Module, Simulator
+
+WORD = PayloadSpec([Field("data", 32)])
+
+
+def build_pair():
+    """An input and an output channel with simple endpoints."""
+    sim = Simulator()
+    chan_in = Channel("in", WORD, direction="in")
+    chan_out = Channel("out", WORD, direction="out")
+    src = ChannelSource("src", chan_in)
+    sink = ChannelSink("sink", chan_in)
+
+    class Echo(Module):
+        """Forwards every received input payload to the output channel."""
+
+        def __init__(self):
+            super().__init__("echo")
+            self.out_src = ChannelSource("echo.out", chan_out)
+            self.submodule(self.out_src)
+
+        def seq(self):
+            if chan_in.fired:
+                self.out_src.send_packed(chan_in.payload.value)
+
+    echo = Echo()
+    out_sink = ChannelSink("out_sink", chan_out)
+    for m in (chan_in, chan_out, src, sink, echo, out_sink):
+        sim.add(m)
+    return sim, chan_in, chan_out, src, sink, echo, out_sink
+
+
+class TestInputSignalBits:
+    def test_per_direction_accounting(self):
+        chan_in = Channel("i", WORD, direction="in")
+        chan_out = Channel("o", WORD, direction="out")
+        # input: 32 payload + VALID; output: READY only.
+        assert input_signal_bits([chan_in]) == 33
+        assert input_signal_bits([chan_out]) == 1
+        assert input_signal_bits([chan_in, chan_out]) == 34
+
+    def test_trace_bytes_scale_with_cycles(self):
+        chan_in = Channel("i", WORD, direction="in")
+        assert cycle_accurate_trace_bytes([chan_in], 100) == 500  # ceil(33/8)*100
+
+
+class TestCycleAccurateRecordReplay:
+    def test_roundtrip_is_bit_exact(self):
+        """Record all input signals; replaying them recreates the run."""
+        sim, chan_in, chan_out, src, sink, echo, out_sink = build_pair()
+        recorder = CycleAccurateRecorder(
+            "rec", [chan_in, chan_out])
+        sim.add(recorder)
+        for i in range(5):
+            src.send({"data": 100 + i})
+        sim.run(40)
+        assert [w for w in out_sink.received] == [100 + i for i in range(5)]
+        frames = recorder.frames
+
+        # Fresh circuit, driven cycle-by-cycle from the recording. The
+        # replayer drives chan_in.valid/payload and chan_out.ready.
+        sim2 = Simulator()
+        chan_in2 = Channel("in", WORD, direction="in")
+        chan_out2 = Channel("out", WORD, direction="out")
+
+        class Echo2(Module):
+            def __init__(self):
+                super().__init__("echo2")
+                self.out_src = ChannelSource("echo2.out", chan_out2)
+                self.submodule(self.out_src)
+
+            def seq(self):
+                if chan_in2.fired:
+                    self.out_src.send_packed(chan_in2.payload.value)
+
+        sink2 = ChannelSink("sink2", chan_in2)
+        received = []
+
+        class OutWatch(Module):
+            has_comb = False
+
+            def __init__(self):
+                super().__init__("watch")
+
+            def seq(self):
+                if chan_out2.fired:
+                    received.append(chan_out2.payload.value)
+
+        frames2 = [
+            {k.replace("in.", "in.").replace("out.", "out."): v
+             for k, v in frame.items()} for frame in frames
+        ]
+        replayer = CycleAccurateReplayer("rep", [chan_in2, chan_out2], frames2)
+        for m in (chan_in2, chan_out2, replayer, Echo2(), sink2, OutWatch()):
+            sim2.add(m)
+        sim2.run(len(frames2) + 5)
+        assert received == [100 + i for i in range(5)]
+
+    def test_trace_size_matches_model(self):
+        sim, chan_in, chan_out, src, sink, echo, out_sink = build_pair()
+        recorder = CycleAccurateRecorder("rec", [chan_in, chan_out])
+        sim.add(recorder)
+        sim.run(25)
+        assert recorder.trace_bytes == cycle_accurate_trace_bytes(
+            [chan_in, chan_out], 25)
+
+
+class TestOrderlessBaseline:
+    def test_recorder_captures_per_channel_contents(self):
+        sim, chan_in, chan_out, src, sink, echo, out_sink = build_pair()
+        recorder = OrderlessRecorder("ol", [chan_in, chan_out])
+        sim.add(recorder)
+        for i in range(3):
+            src.send({"data": i})
+        sim.run(30)
+        assert [WORD.from_bytes(b) for b in recorder.streams["in"]] == [0, 1, 2]
+        assert [WORD.from_bytes(b) for b in recorder.streams["out"]] == [0, 1, 2]
+
+    def test_replayer_drives_streams_without_ordering(self):
+        # Record one channel, replay it into a fresh sink.
+        sim, chan_in, chan_out, src, sink, echo, out_sink = build_pair()
+        recorder = OrderlessRecorder("ol", [chan_in, chan_out])
+        sim.add(recorder)
+        for i in range(4):
+            src.send({"data": 10 + i})
+        sim.run(40)
+
+        sim2 = Simulator()
+        chan_in2 = Channel("in", WORD, direction="in")
+        sink2 = ChannelSink("s2", chan_in2)
+        replayer = OrderlessReplayer("rep", [chan_in2],
+                                     {"in": recorder.streams["in"]})
+        for m in (chan_in2, replayer, sink2):
+            sim2.add(m)
+        sim2.run(20)
+        assert sink2.received == [10, 11, 12, 13]
+        assert replayer.done
+
+    def test_trace_bytes(self):
+        sim, chan_in, chan_out, src, sink, echo, out_sink = build_pair()
+        recorder = OrderlessRecorder("ol", [chan_in])
+        sim.add(recorder)
+        src.send({"data": 1})
+        sim.run(10)
+        assert recorder.trace_bytes == 4   # one 32-bit content
+
+
+class TestPanopticonEnvelope:
+    def test_paper_defaults(self):
+        envelope = panopticon_envelope()
+        assert envelope.peak_bandwidth_gbs == pytest.approx(18.53, abs=0.01)
+        assert envelope.seconds_to_loss == pytest.approx(3.3e-3, abs=0.1e-3)
+        assert envelope.loses_data
+
+    def test_no_loss_when_drain_sufficient(self):
+        envelope = panopticon_envelope(traced_bits=64,
+                                       drain_bytes_per_s=5.5e9)
+        assert not envelope.loses_data
+        assert envelope.seconds_to_loss == float("inf")
+
+    def test_wider_trace_loses_faster(self):
+        narrow = panopticon_envelope(traced_bits=600)
+        wide = panopticon_envelope(traced_bits=2000)
+        assert wide.seconds_to_loss < narrow.seconds_to_loss

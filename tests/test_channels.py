@@ -1,0 +1,251 @@
+"""Unit and property tests for channels, payloads, and the protocol checker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import (
+    AXI4_SPECS,
+    AXI_LITE_SPECS,
+    Channel,
+    ChannelSink,
+    ChannelSource,
+    Field,
+    PayloadSpec,
+    ProtocolChecker,
+    axi4_interface,
+    axi_lite_interface,
+    total_payload_width,
+)
+from repro.errors import ProtocolViolationError, SimulationError
+from repro.sim import Module, Simulator
+
+WORD = PayloadSpec([Field("data", 32)])
+
+
+def build_link(policy=None):
+    """A source -> channel -> sink testbench; returns (sim, src, ch, sink)."""
+    sim = Simulator()
+    ch = Channel("ch", WORD)
+    src = ChannelSource("src", ch)
+    kwargs = {"policy": policy} if policy is not None else {}
+    sink = ChannelSink("sink", ch, **kwargs)
+    sim.add(ch)
+    sim.add(src)
+    sim.add(sink)
+    return sim, src, ch, sink
+
+
+class TestPayloadSpec:
+    def test_pack_unpack_roundtrip(self):
+        spec = PayloadSpec([Field("a", 4), Field("b", 12), Field("c", 1)])
+        values = {"a": 0x9, "b": 0xABC, "c": 1}
+        assert spec.unpack(spec.pack(values)) == values
+
+    def test_pack_masks_overwide_values(self):
+        spec = PayloadSpec([Field("a", 4)])
+        assert spec.unpack(spec.pack({"a": 0xFF}))["a"] == 0xF
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SimulationError):
+            WORD.pack({"nope": 1})
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SimulationError):
+            PayloadSpec([Field("a", 1), Field("a", 2)])
+
+    def test_bytes_roundtrip(self):
+        spec = PayloadSpec([Field("a", 13)])
+        word = spec.pack({"a": 0x1ABC & 0x1FFF})
+        assert spec.from_bytes(spec.to_bytes(word)) == word
+        assert len(spec.to_bytes(word)) == 2
+
+    def test_bytes_wrong_length_rejected(self):
+        with pytest.raises(SimulationError):
+            WORD.from_bytes(b"\x00")
+
+    def test_extract_single_field(self):
+        spec = PayloadSpec([Field("lo", 8), Field("hi", 8)])
+        word = spec.pack({"lo": 0x34, "hi": 0x12})
+        assert spec.extract(word, "hi") == 0x12
+
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                    max_size=8), st.randoms())
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, widths, rng):
+        fields = [Field(f"f{i}", w) for i, w in enumerate(widths)]
+        spec = PayloadSpec(fields)
+        values = {f.name: rng.getrandbits(f.width) for f in fields}
+        assert spec.unpack(spec.pack(values)) == values
+
+
+class TestHandshake:
+    def test_single_transfer(self):
+        sim, src, ch, sink = build_link()
+        src.send({"data": 42})
+        sim.run_until(lambda: len(sink.received) == 1, max_cycles=10)
+        assert sink.received_dicts() == [{"data": 42}]
+
+    def test_back_to_back_transfers(self):
+        sim, src, ch, sink = build_link()
+        for i in range(5):
+            src.send({"data": i})
+        start = sim.cycle
+        sim.run_until(lambda: len(sink.received) == 5, max_cycles=20)
+        # Always-ready sink: one transfer per cycle once the pipe is primed.
+        assert sim.cycle - start <= 6
+        assert [d["data"] for d in sink.received_dicts()] == [0, 1, 2, 3, 4]
+
+    def test_stalling_sink_preserves_order_and_count(self):
+        # READY high only every third cycle.
+        sim, src, ch, sink = build_link(policy=lambda cyc, n: cyc % 3 == 0)
+        for i in range(4):
+            src.send({"data": 100 + i})
+        sim.run_until(lambda: len(sink.received) == 4, max_cycles=100)
+        assert [d["data"] for d in sink.received_dicts()] == [100, 101, 102, 103]
+
+    def test_valid_held_until_ready(self):
+        sim, src, ch, sink = build_link(policy=lambda cyc, n: False)
+        src.send({"data": 7})
+        sim.run(5)
+        assert ch.valid.value == 1
+        assert len(sink.received) == 0
+        sink.policy = lambda cyc, n: True
+        sim.run(3)
+        assert len(sink.received) == 1
+
+    def test_source_idle_flag(self):
+        sim, src, ch, sink = build_link()
+        assert src.idle
+        src.send({"data": 1})
+        assert not src.idle
+        sim.run_until(lambda: src.idle, max_cycles=10)
+        assert sink.received == [1]
+
+    def test_channel_direction_validation(self):
+        with pytest.raises(ValueError):
+            Channel("bad", WORD, direction="sideways")
+
+    def test_channel_width_includes_control(self):
+        ch = Channel("c", WORD)
+        assert ch.width == 34
+
+
+class TestProtocolChecker:
+    def test_clean_traffic_passes(self):
+        sim, src, ch, sink = build_link()
+        checker = ProtocolChecker("chk", ch)
+        sim.add(checker)
+        for i in range(3):
+            src.send({"data": i})
+        sim.run_until(lambda: len(sink.received) == 3, max_cycles=20)
+        assert checker.violations == []
+        assert checker.observed_transactions == 3
+
+    def test_valid_retraction_detected(self):
+        sim = Simulator()
+        ch = Channel("ch", WORD)
+
+        class RudeSender(Module):
+            """Asserts VALID for one cycle then retracts without READY."""
+
+            def __init__(self):
+                super().__init__("rude")
+                self._n = 0
+
+            def comb(self):
+                ch.valid.drive(1 if self._n == 0 else 0)
+                ch.payload.drive(5)
+
+            def seq(self):
+                self._n += 1
+
+        sim.add(ch)
+        sim.add(RudeSender())
+        checker = ProtocolChecker("chk", ch, strict=False)
+        sim.add(checker)
+        sim.run(4)
+        assert any(v.rule == "valid-retracted" for v in checker.violations)
+
+    def test_payload_mutation_detected_strict(self):
+        sim = Simulator()
+        ch = Channel("ch", WORD)
+
+        class Mutator(Module):
+            def __init__(self):
+                super().__init__("mut")
+                self._n = 0
+
+            def comb(self):
+                ch.valid.drive(1)
+                ch.payload.drive(self._n)
+
+            def seq(self):
+                self._n += 1
+
+        sim.add(ch)
+        sim.add(Mutator())
+        sim.add(ProtocolChecker("chk", ch, strict=True))
+        with pytest.raises(ProtocolViolationError):
+            sim.run(4)
+
+
+class TestAxiBundles:
+    def test_axi_lite_width_matches_paper(self):
+        iface = axi_lite_interface("sda")
+        assert iface.payload_width == 136
+
+    def test_axi4_width_matches_paper(self):
+        iface = axi4_interface("pcis")
+        assert iface.payload_width == 1324
+
+    def test_w_channel_is_593_bits(self):
+        assert AXI4_SPECS["w"].width == 593
+
+    def test_all_five_interfaces_total_3056_bits(self):
+        interfaces = [
+            axi_lite_interface("sda"),
+            axi_lite_interface("ocl"),
+            axi_lite_interface("bar1"),
+            axi4_interface("pcim", manager="fpga"),
+            axi4_interface("pcis"),
+        ]
+        assert total_payload_width(interfaces) == 3056
+
+    def test_cpu_managed_directions(self):
+        iface = axi_lite_interface("ocl", manager="cpu")
+        assert [c.name.split(".")[-1] for c in iface.input_channels()] == ["aw", "w", "ar"]
+        assert [c.name.split(".")[-1] for c in iface.output_channels()] == ["b", "r"]
+
+    def test_fpga_managed_directions_reversed(self):
+        iface = axi4_interface("pcim", manager="fpga")
+        assert [c.name.split(".")[-1] for c in iface.input_channels()] == ["b", "r"]
+        assert [c.name.split(".")[-1] for c in iface.output_channels()] == ["aw", "w", "ar"]
+
+    def test_bad_manager_rejected(self):
+        with pytest.raises(ValueError):
+            axi4_interface("x", manager="gpu")
+
+
+class TestHandshakePropertyBased:
+    """Randomised stall storms: the formal-verification stand-in (§4.1)."""
+
+    @given(
+        payloads=st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                          min_size=1, max_size=20),
+        stall_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_drop_no_reorder_under_random_stalls(self, payloads, stall_seed):
+        import random
+
+        rng = random.Random(stall_seed)
+        sim, src, ch, sink = build_link(policy=lambda cyc, n: rng.random() < 0.4)
+        checker = ProtocolChecker("chk", ch, strict=True)
+        sim.add(checker)
+        for p in payloads:
+            src.send({"data": p})
+        sim.run_until(lambda: len(sink.received) == len(payloads),
+                      max_cycles=40 * len(payloads) + 200)
+        assert sink.received == payloads
+        assert checker.observed_transactions == len(payloads)

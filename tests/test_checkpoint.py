@@ -1,0 +1,118 @@
+"""Tests for checkpointing and partial record/replay (§7 synergy)."""
+
+import pytest
+
+from repro.apps.sha256 import MSG_BASE, OUT_BASE, REG_MSG_ADDR, make
+from repro.apps import dram_dma
+from repro.core import VidiConfig, compare_traces
+from repro.core.checkpoint import (
+    Checkpoint,
+    restore_checkpoint,
+    take_checkpoint,
+)
+from repro.errors import ConfigError
+from repro.platform import F1Deployment
+
+
+def run_first_task(seed=9):
+    """Run task 1 of a two-task DRAM DMA host; checkpoint; return pieces."""
+    acc_factory, _ = dram_dma.make(polling=False)
+
+    def host_one_task(result, host_seed):
+        return dram_dma.host_program(result, host_seed, n_words=16,
+                                     polling=False, n_tasks=1)
+
+    deployment = F1Deployment("ck", acc_factory, VidiConfig.r2(), seed=seed)
+    result = {}
+    deployment.cpu.add_thread(host_one_task(result, seed))
+    deployment.run_to_completion()
+    assert result["ok"]
+    checkpoint = take_checkpoint(deployment)
+    return acc_factory, checkpoint, result
+
+
+class TestTakeCheckpoint:
+    def test_quiescent_snapshot(self):
+        _, checkpoint, _ = run_first_task()
+        assert checkpoint.dram_words            # DRAM has the copied data
+        assert checkpoint.doorbell_count == 1
+        assert checkpoint.cycle > 0
+        assert checkpoint.dram_bytes > 0
+
+    def test_busy_kernel_rejected(self):
+        accelerator_factory, host_factory = make()
+        deployment = F1Deployment("busy", accelerator_factory,
+                                  VidiConfig.r2(), seed=0)
+        result = {}
+        deployment.cpu.add_thread(host_factory(result, seed=1, scale=0.5))
+        # Stop mid-run: the kernel is active.
+        deployment.sim.run_until(
+            lambda: deployment.accelerator._kernel is not None,
+            max_cycles=100_000)
+        with pytest.raises(ConfigError):
+            take_checkpoint(deployment)
+
+    def test_restore_requires_fresh_deployment(self):
+        acc_factory, checkpoint, _ = run_first_task()
+        deployment = F1Deployment("used", acc_factory, VidiConfig.r2(),
+                                  seed=0)
+        deployment.sim.run(5)
+        with pytest.raises(ConfigError):
+            restore_checkpoint(deployment, checkpoint)
+
+
+class TestPartialRecordReplay:
+    def test_suffix_recorded_from_checkpoint_replays_cleanly(self):
+        """Record only the post-checkpoint suffix; replay it on a restored
+        deployment; outputs match (the §7 partial-recording workflow)."""
+        acc_factory, checkpoint, _ = run_first_task(seed=21)
+
+        # Phase 2 (the suffix): a second task recorded from the checkpoint.
+        suffix = F1Deployment("suffix", acc_factory, VidiConfig.r2(),
+                              seed=22)
+        restore_checkpoint(suffix, checkpoint)
+        result = {}
+        suffix.cpu.add_thread(dram_dma.host_program(
+            result, 22, n_words=16, polling=False, n_tasks=1,
+            doorbell_base=checkpoint.doorbell_count))
+        suffix.run_to_completion()
+        assert result["ok"]
+        # The doorbell counter continued from the checkpoint.
+        assert suffix.accelerator.doorbell_count == 2
+        trace = suffix.recorded_trace({"phase": "suffix"})
+
+        # Replay the suffix trace against the same checkpoint.
+        replay = F1Deployment("suffix_r", acc_factory, VidiConfig.r3(),
+                              replay_trace=trace)
+        restore_checkpoint(replay, checkpoint, restore_host=False)
+        replay.run_replay()
+        report = compare_traces(trace, replay.recorded_trace())
+        assert report.clean, report.summary()
+
+    def test_replay_without_checkpoint_diverges(self):
+        """The suffix trace needs its checkpoint: power-on state differs."""
+        acc_factory, checkpoint, _ = run_first_task(seed=31)
+        suffix = F1Deployment("suffix2", acc_factory, VidiConfig.r2(),
+                              seed=32)
+        restore_checkpoint(suffix, checkpoint)
+        result = {}
+        suffix.cpu.add_thread(dram_dma.host_program(
+            result, 32, n_words=16, polling=False, n_tasks=1,
+            doorbell_base=checkpoint.doorbell_count))
+        suffix.run_to_completion()
+        trace = suffix.recorded_trace()
+
+        replay = F1Deployment("suffix2_r", acc_factory, VidiConfig.r3(),
+                              replay_trace=trace)   # no restore!
+        replay.run_replay()
+        report = compare_traces(trace, replay.recorded_trace())
+        # The doorbell payload carries the counter, which starts from 0
+        # without the checkpoint -> content divergence on pcim.w.
+        assert report.of_kind("content")
+
+
+class TestCheckpointDataclass:
+    def test_defaults(self):
+        checkpoint = Checkpoint()
+        assert checkpoint.dram_bytes == 0
+        assert checkpoint.doorbell_count == 0

@@ -1,0 +1,136 @@
+"""Tests for the trace decoder, shim wiring rules, and config edge cases."""
+
+import pytest
+
+from repro.apps.sha256 import make
+from repro.core import VidiConfig, VidiMode
+from repro.core.decoder import TraceDecoder
+from repro.core.events import ChannelInfo, ChannelTable
+from repro.core.packets import CyclePacket
+from repro.core.shim import VidiShim, build_channel_table
+from repro.core.trace_file import TraceFile
+from repro.errors import ConfigError
+from repro.platform import F1Deployment, make_f1_interfaces
+
+
+def toy_table():
+    return ChannelTable([
+        ChannelInfo(index=0, name="a", direction="in", content_bytes=2,
+                    payload_bits=16),
+        ChannelInfo(index=1, name="b", direction="out", content_bytes=1,
+                    payload_bits=8),
+    ])
+
+
+class TestTraceDecoder:
+    def test_channel_feed_carries_ends_masks(self):
+        table = toy_table()
+        packets = [
+            CyclePacket(starts=0b01, contents={0: b"\x11\x22"}),
+            CyclePacket(ends=0b11, validation={1: b"\x07"}),
+        ]
+        decoder = TraceDecoder(table)
+        feeds = decoder.all_feeds(
+            TraceFile.from_packets(table, packets).body)
+        assert len(feeds) == 2
+        assert feeds[0][0].start and feeds[0][0].content == b"\x11\x22"
+        assert feeds[0][1].end and feeds[0][1].ends_mask == 0b11
+        assert feeds[1][0].ends_mask == 0
+        assert feeds[1][1].end
+
+    def test_every_feed_has_every_packet(self):
+        table = toy_table()
+        packets = [CyclePacket(ends=0b10, validation={1: b"\x01"})
+                   for _ in range(5)]
+        decoder = TraceDecoder(table)
+        feeds = decoder.all_feeds(TraceFile.from_packets(table, packets).body)
+        assert all(len(feed) == 5 for feed in feeds)
+
+
+class TestBuildChannelTable:
+    def test_full_f1_table(self):
+        interfaces = make_f1_interfaces("x")
+        table = build_channel_table(
+            interfaces, ("sda", "ocl", "bar1", "pcim", "pcis"))
+        assert table.n == 25
+        assert table.by_name("pcis.w").payload_bits == 593
+        assert table.by_name("pcim.w").direction == "out"
+        assert table.by_name("pcis.w").direction == "in"
+
+    def test_subset_and_ordering(self):
+        interfaces = make_f1_interfaces("x")
+        table = build_channel_table(interfaces, ("pcim",))
+        assert [c.name for c in table.channels] == [
+            "pcim.aw", "pcim.w", "pcim.b", "pcim.ar", "pcim.r"]
+
+
+class TestShimWiring:
+    def test_mismatched_interface_sets_rejected(self):
+        env = make_f1_interfaces("e")
+        app = make_f1_interfaces("a")
+        del app["pcis"]
+        with pytest.raises(ConfigError):
+            VidiShim("v", env, app, VidiConfig.r1())
+
+    def test_replay_requires_matching_table(self):
+        env = make_f1_interfaces("e")
+        app = make_f1_interfaces("a")
+        other_table = toy_table()
+        trace = TraceFile.from_packets(
+            other_table, [CyclePacket(ends=0b10, validation={1: b"\x00"})])
+        with pytest.raises(ConfigError):
+            VidiShim("v", env, app, VidiConfig.r3(), replay_trace=trace)
+
+    def test_record_mode_has_monitor_per_channel(self):
+        env = make_f1_interfaces("e")
+        app = make_f1_interfaces("a")
+        shim = VidiShim("v", env, app, VidiConfig.r2())
+        assert len(shim.monitors) == 25
+        directions = [m.direction for m in shim.monitors]
+        assert directions.count("in") == 14   # 3x3 lite + pcis aw/w/ar + pcim b/r
+        assert directions.count("out") == 11
+
+    def test_transparent_mode_has_no_pipeline(self):
+        env = make_f1_interfaces("e")
+        app = make_f1_interfaces("a")
+        shim = VidiShim("v", env, app, VidiConfig.r1())
+        assert shim.store is None and shim.encoder is None
+        assert not shim.monitors
+
+    def test_recorded_trace_requires_recording(self):
+        env = make_f1_interfaces("e")
+        app = make_f1_interfaces("a")
+        shim = VidiShim("v", env, app, VidiConfig.r1())
+        with pytest.raises(ConfigError):
+            shim.recorded_trace()
+
+    def test_replay_without_validation_has_no_store(self):
+        accelerator_factory, host_factory = make()
+        recording = F1Deployment("nv", accelerator_factory,
+                                 VidiConfig.r2(record_output_contents=True),
+                                 seed=0)
+        result = {}
+        recording.cpu.add_thread(host_factory(result, seed=1, scale=0.3))
+        recording.run_to_completion()
+        trace = recording.recorded_trace()
+        replay = F1Deployment(
+            "nv_r", accelerator_factory,
+            VidiConfig.r3(record_output_contents=False), replay_trace=trace)
+        assert replay.shim.store is None
+        replay.run_replay()
+        assert replay.shim.replay_done
+
+
+class TestConfig:
+    def test_monitored_canonical_order(self):
+        config = VidiConfig.r2(interfaces=("pcis", "sda"))
+        assert config.monitored == ("sda", "pcis")
+
+    def test_duplicate_interface_rejected(self):
+        with pytest.raises(ConfigError):
+            VidiConfig.r2(interfaces=("sda", "sda"))
+
+    def test_modes(self):
+        assert VidiConfig.r1().mode is VidiMode.TRANSPARENT
+        assert VidiConfig.r2().mode is VidiMode.RECORD
+        assert VidiConfig.r3().mode is VidiMode.REPLAY

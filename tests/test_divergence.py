@@ -1,0 +1,105 @@
+"""Unit tests for divergence detection (§3.6) on hand-built traces."""
+
+import pytest
+
+from repro.core.divergence import compare_traces
+from repro.core.events import ChannelInfo, ChannelTable
+from repro.core.packets import CyclePacket
+from repro.core.trace_file import TraceFile
+from repro.errors import ConfigError
+
+
+def table():
+    return ChannelTable([
+        ChannelInfo(index=0, name="in0", direction="in", content_bytes=1,
+                    payload_bits=8),
+        ChannelInfo(index=1, name="out0", direction="out", content_bytes=1,
+                    payload_bits=8),
+        ChannelInfo(index=2, name="out1", direction="out", content_bytes=1,
+                    payload_bits=8),
+    ])
+
+
+def trace(packets):
+    return TraceFile.from_packets(table(), packets, with_validation=True)
+
+
+def end(ch, content):
+    return CyclePacket(ends=1 << ch, validation={ch: content})
+
+
+class TestCompareTraces:
+    def test_identical_traces_clean(self):
+        t = trace([end(1, b"\x01"), end(2, b"\x02"), end(1, b"\x03")])
+        report = compare_traces(t, t)
+        assert report.clean
+        assert report.output_transactions == 3
+        assert "no divergences" in report.summary()
+
+    def test_content_divergence_detected(self):
+        ref = trace([end(1, b"\x01"), end(1, b"\x02")])
+        val = trace([end(1, b"\x01"), end(1, b"\xff")])
+        report = compare_traces(ref, val)
+        assert len(report.of_kind("content")) == 1
+        d = report.of_kind("content")[0]
+        assert d.channel == "out0" and d.occurrence == 1
+        assert report.content_divergence_rate == pytest.approx(0.5)
+
+    def test_count_divergence_detected(self):
+        ref = trace([end(1, b"\x01"), end(1, b"\x02")])
+        val = trace([end(1, b"\x01")])
+        report = compare_traces(ref, val)
+        assert report.of_kind("count")
+
+    def test_ordering_inversion_detected(self):
+        # Recorded: out0 end, then out1 end. Replayed: out1 first.
+        ref = trace([end(1, b"\x01"), end(2, b"\x02")])
+        val = trace([end(2, b"\x02"), end(1, b"\x01")])
+        report = compare_traces(ref, val)
+        assert report.of_kind("ordering")
+
+    def test_concurrent_to_ordered_is_not_divergence(self):
+        # Recorded simultaneously (one packet); replayed sequentially.
+        ref = trace([CyclePacket(ends=0b110,
+                                 validation={1: b"\x01", 2: b"\x02"})])
+        val = trace([end(1, b"\x01"), end(2, b"\x02")])
+        report = compare_traces(ref, val)
+        assert report.clean
+
+    def test_input_ends_ignored(self):
+        """Validation traces carry no input ends; they must not be compared."""
+        ref = trace([CyclePacket(starts=0b001, ends=0b001,
+                                 contents={0: b"\x09"}),
+                     end(1, b"\x01")])
+        val = trace([end(1, b"\x01")])
+        report = compare_traces(ref, val)
+        assert report.clean
+
+    def test_mismatched_tables_rejected(self):
+        other = ChannelTable([ChannelInfo(index=0, name="x", direction="out",
+                                          content_bytes=1, payload_bits=8)])
+        t1 = trace([end(1, b"\x00")])
+        t2 = TraceFile.from_packets(
+            other, [CyclePacket(ends=1, validation={0: b"\x00"})])
+        with pytest.raises(ConfigError):
+            compare_traces(t1, t2)
+
+    def test_traces_without_contents_rejected(self):
+        t1 = trace([end(1, b"\x00")])
+        bare = TraceFile.from_packets(table(), [CyclePacket(ends=0b010)],
+                                      with_validation=False)
+        with pytest.raises(ConfigError):
+            compare_traces(t1, bare)
+
+    def test_rate_zero_when_no_transactions(self):
+        report = compare_traces(trace([end(1, b"\x00")][:0] or
+                                      [CyclePacket(starts=1, contents={0: b"\x00"})]),
+                                trace([CyclePacket(starts=1, contents={0: b"\x00"})]))
+        assert report.output_transactions == 0
+        assert report.content_divergence_rate == 0.0
+
+    def test_summary_truncates_long_reports(self):
+        ref = trace([end(1, bytes([i])) for i in range(30)])
+        val = trace([end(1, bytes([i + 100])) for i in range(30)])
+        report = compare_traces(ref, val)
+        assert "more" in report.summary()

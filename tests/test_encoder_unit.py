@@ -1,0 +1,109 @@
+"""Direct unit tests for the trace encoder's reservation ledger."""
+
+import pytest
+
+from repro.core.encoder import TraceEncoder
+from repro.core.events import ChannelInfo, ChannelTable
+from repro.core.packets import deserialize_packets
+from repro.core.store import TraceStore
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def make_encoder(staging=1024, record_output_contents=True):
+    sim = Simulator()
+    table = ChannelTable([
+        ChannelInfo(index=0, name="in0", direction="in", content_bytes=4,
+                    payload_bits=32),
+        ChannelInfo(index=1, name="out0", direction="out", content_bytes=8,
+                    payload_bits=64),
+    ])
+    store = TraceStore("store", staging_bytes=staging,
+                       bandwidth_bytes_per_cycle=1000.0)
+    encoder = TraceEncoder("enc", table, store,
+                           record_output_contents=record_output_contents)
+    sim.add(encoder)
+    sim.add(store)
+    return sim, encoder, store, table
+
+
+class TestGrant:
+    def test_granted_when_plenty_of_room(self):
+        _, encoder, _, _ = make_encoder()
+        assert encoder.grant()
+
+    def test_denied_when_staging_tight(self):
+        _, encoder, store, _ = make_encoder(staging=64)
+        store.accept(b"\x00" * 50)
+        assert not encoder.grant()
+
+    def test_reservations_shrink_the_budget(self):
+        _, encoder, _, _ = make_encoder(staging=64)
+        assert encoder.grant()
+        for _ in range(5):
+            encoder.reserve_end(1)   # 2 header + 8 content each
+        assert not encoder.grant()
+
+    def test_disabled_encoder_always_grants(self):
+        _, encoder, store, _ = make_encoder(staging=64)
+        store.accept(b"\x00" * 60)
+        encoder.enabled = False
+        assert encoder.grant()
+
+
+class TestRecording:
+    def test_start_end_same_cycle_one_packet(self):
+        sim, encoder, store, table = make_encoder()
+        encoder.record_start(0, b"\x01\x02\x03\x04")
+        encoder.record_end(0)
+        sim.step()
+        store.flush()
+        packets = deserialize_packets(store.trace_bytes, table, True)
+        assert len(packets) == 1
+        assert packets[0].starts == 1 and packets[0].ends == 1
+
+    def test_idle_cycles_emit_nothing(self):
+        sim, encoder, store, _ = make_encoder()
+        sim.run(10)
+        assert encoder.packets_emitted == 0
+        assert store.total_packet_bytes == 0
+
+    def test_output_end_content_only_in_validation_mode(self):
+        sim, encoder, store, table = make_encoder(record_output_contents=True)
+        encoder.reserve_end(1)
+        encoder.record_end(1, b"\x11" * 8)
+        sim.step()
+        store.flush()
+        packets = deserialize_packets(store.trace_bytes, table, True)
+        assert packets[0].validation[1] == b"\x11" * 8
+
+        sim2, encoder2, store2, table2 = make_encoder(
+            record_output_contents=False)
+        encoder2.reserve_end(1)
+        encoder2.record_end(1, b"\x11" * 8)
+        sim2.step()
+        store2.flush()
+        packets2 = deserialize_packets(store2.trace_bytes, table2, False)
+        assert packets2[0].validation == {}
+        assert len(store2.trace_bytes) < len(store.trace_bytes)
+
+    def test_wrong_content_length_rejected(self):
+        _, encoder, _, _ = make_encoder()
+        with pytest.raises(SimulationError):
+            encoder.record_start(0, b"\x00" * 3)
+
+    def test_start_on_output_rejected(self):
+        _, encoder, _, _ = make_encoder()
+        with pytest.raises(SimulationError):
+            encoder.record_start(1, b"\x00" * 8)
+
+    def test_negative_reservation_detected(self):
+        _, encoder, _, _ = make_encoder()
+        with pytest.raises(SimulationError):
+            encoder.record_end(0)   # end without a matching reservation
+
+    def test_event_counter(self):
+        sim, encoder, store, _ = make_encoder()
+        encoder.record_start(0, b"\x00" * 4)
+        encoder.record_end(0)
+        assert encoder.events_recorded == 2

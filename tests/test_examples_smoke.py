@@ -1,0 +1,33 @@
+"""Every example script must run cleanly end to end (subprocess smoke)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "debugging_workflow.py",
+    "testing_with_mutation.py",
+    "trace_inspection.py",
+    "component_replay.py",
+    "production_workflow.py",
+    "streaming_dataplane.py",
+]
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they did"
+
+
+def test_example_list_is_complete():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

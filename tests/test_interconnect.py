@@ -1,0 +1,95 @@
+"""Tests for the AXI interconnect (N managers -> 1 subordinate)."""
+
+import pytest
+
+from repro.channels import ProtocolChecker, axi4_interface
+from repro.channels.interconnect import AxiInterconnect
+from repro.platform.axi_manager import AxiManager
+from repro.platform.host_mem import HostMemoryController
+from repro.sim import Simulator, WordMemory
+
+
+def build(n_managers=2, seed=0):
+    sim = Simulator()
+    upstreams = [axi4_interface(f"up{i}", manager="fpga")
+                 for i in range(n_managers)]
+    downstream = axi4_interface("down", manager="fpga")
+    for iface in upstreams + [downstream]:
+        sim.add(iface)
+    interconnect = AxiInterconnect("xbar", upstreams, downstream)
+    sim.add(interconnect)
+    memory = WordMemory("mem", 1 << 16)
+    subordinate = HostMemoryController("sub", downstream, memory,
+                                       base_latency=2, jitter=0, seed=seed)
+    sim.add(subordinate)
+    managers = [AxiManager(f"mgr{i}", up) for i, up in enumerate(upstreams)]
+    for manager in managers:
+        sim.add(manager)
+    return sim, interconnect, memory, managers
+
+
+class TestSingleManager:
+    def test_write_read_roundtrip(self):
+        sim, xbar, memory, managers = build(n_managers=1)
+        managers[0].dma_write_bytes(0x100, bytes(range(128)))
+        results = []
+        managers[0].dma_read(0x100, 2, on_complete=results.append)
+        sim.run_until(lambda: managers[0].idle, max_cycles=3000)
+        assert memory.read_bytes(0x100, 128) == bytes(range(128))
+        assert results and results[0][0] == int.from_bytes(
+            bytes(range(64)), "little")
+
+
+class TestTwoManagers:
+    def test_concurrent_writes_both_land(self):
+        sim, xbar, memory, managers = build()
+        managers[0].dma_write_bytes(0x0000, b"\xAA" * 128)
+        managers[1].dma_write_bytes(0x1000, b"\xBB" * 128)
+        sim.run_until(lambda: all(m.idle for m in managers), max_cycles=5000)
+        assert memory.read_bytes(0x0000, 128) == b"\xAA" * 128
+        assert memory.read_bytes(0x1000, 128) == b"\xBB" * 128
+        assert xbar.write_grants[0] >= 1 and xbar.write_grants[1] >= 1
+
+    def test_round_robin_alternates_under_contention(self):
+        sim, xbar, memory, managers = build()
+        for burst in range(4):
+            managers[0].dma_write_bytes(0x0000 + burst * 512, b"\x11" * 512)
+            managers[1].dma_write_bytes(0x4000 + burst * 512, b"\x22" * 512)
+        sim.run_until(lambda: all(m.idle for m in managers), max_cycles=20000)
+        # Both made progress throughout; neither starved.
+        assert xbar.write_grants[0] >= 4
+        assert xbar.write_grants[1] >= 4
+        for burst in range(4):
+            assert memory.read_bytes(0x0000 + burst * 512, 512) == b"\x11" * 512
+            assert memory.read_bytes(0x4000 + burst * 512, 512) == b"\x22" * 512
+
+    def test_concurrent_reads_route_to_right_manager(self):
+        sim, xbar, memory, managers = build()
+        memory.write_bytes(0x0000, b"\x01" * 64)
+        memory.write_bytes(0x2000, b"\x02" * 64)
+        out0, out1 = [], []
+        managers[0].dma_read(0x0000, 1, on_complete=out0.append)
+        managers[1].dma_read(0x2000, 1, on_complete=out1.append)
+        sim.run_until(lambda: all(m.idle for m in managers), max_cycles=3000)
+        assert out0[0][0] == int.from_bytes(b"\x01" * 64, "little")
+        assert out1[0][0] == int.from_bytes(b"\x02" * 64, "little")
+        assert xbar.read_grants == [1, 1]
+
+    def test_protocol_clean_on_downstream(self):
+        sim, xbar, memory, managers = build()
+        downstream = xbar.downstream
+        checkers = [ProtocolChecker(f"chk.{name}", channel, strict=True)
+                    for name, channel in downstream.channels.items()]
+        for checker in checkers:
+            sim.add(checker)
+        managers[0].dma_write_bytes(0x0000, bytes(range(150)))
+        managers[1].dma_write_bytes(0x3000, bytes(range(90)))
+        results = []
+        managers[0].dma_read(0x3000, 1, on_complete=results.append)
+        sim.run_until(lambda: all(m.idle for m in managers), max_cycles=6000)
+        assert all(not c.violations for c in checkers)
+
+    def test_empty_manager_list_rejected(self):
+        downstream = axi4_interface("d", manager="fpga")
+        with pytest.raises(ValueError):
+            AxiInterconnect("x", [], downstream)

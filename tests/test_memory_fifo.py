@@ -1,0 +1,182 @@
+"""Unit tests for memory primitives and FIFOs (incl. the buggy frame FIFO)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.fifo import FrameFIFO, SyncFIFO
+from repro.sim.memory import RegisterFile, WordMemory
+
+
+class TestWordMemory:
+    def test_write_read_word(self):
+        mem = WordMemory("m", 1024, word_bytes=64)
+        mem.write_word(64, 0xDEADBEEF)
+        assert mem.read_word(64) == 0xDEADBEEF
+
+    def test_uninitialised_reads_zero(self):
+        mem = WordMemory("m", 1024, word_bytes=64)
+        assert mem.read_word(128) == 0
+
+    def test_partial_strobe_merges_bytes(self):
+        mem = WordMemory("m", 256, word_bytes=4)
+        mem.write_word(0, 0xAABBCCDD)
+        mem.write_word(0, 0x11223344, strobe=0b0101)   # bytes 0 and 2
+        assert mem.read_word(0) == 0xAA22CC44
+
+    def test_full_strobe_equivalent_to_none(self):
+        mem = WordMemory("m", 256, word_bytes=4)
+        mem.write_word(4, 0x12345678, strobe=0xF)
+        assert mem.read_word(4) == 0x12345678
+
+    def test_unaligned_word_access_rejected(self):
+        mem = WordMemory("m", 256, word_bytes=4)
+        with pytest.raises(SimulationError):
+            mem.read_word(3)
+
+    def test_out_of_range_rejected(self):
+        mem = WordMemory("m", 256, word_bytes=4)
+        with pytest.raises(SimulationError):
+            mem.write_word(256, 1)
+
+    def test_size_must_be_word_multiple(self):
+        with pytest.raises(SimulationError):
+            WordMemory("m", 100, word_bytes=64)
+
+    def test_byte_level_roundtrip_unaligned(self):
+        mem = WordMemory("m", 1024, word_bytes=64)
+        payload = bytes(range(100))
+        mem.write_bytes(13, payload)
+        assert mem.read_bytes(13, 100) == payload
+
+    def test_byte_write_preserves_neighbours(self):
+        mem = WordMemory("m", 1024, word_bytes=64)
+        mem.write_bytes(0, b"\xFF" * 64)
+        mem.write_bytes(10, b"\x00\x01")
+        data = mem.read_bytes(0, 64)
+        assert data[9] == 0xFF and data[10] == 0x00
+        assert data[11] == 0x01 and data[12] == 0xFF
+
+    @given(st.integers(min_value=0, max_value=200),
+           st.binary(min_size=1, max_size=120))
+    @settings(max_examples=40)
+    def test_bytes_roundtrip_property(self, addr, payload):
+        mem = WordMemory("m", 4096, word_bytes=64)
+        mem.write_bytes(addr, payload)
+        assert mem.read_bytes(addr, len(payload)) == payload
+
+    def test_clear(self):
+        mem = WordMemory("m", 256, word_bytes=64)
+        mem.write_word(0, 42)
+        mem.clear()
+        assert mem.read_word(0) == 0
+
+
+class TestRegisterFile:
+    def test_read_write(self):
+        regs = RegisterFile("r", 8)
+        regs.write(4, 0x1234)
+        assert regs.read(4) == 0x1234
+        assert regs[1] == 0x1234
+
+    def test_values_truncated_to_32_bits(self):
+        regs = RegisterFile("r", 4)
+        regs[0] = 0x1_FFFF_FFFF
+        assert regs[0] == 0xFFFF_FFFF
+
+    def test_unaligned_rejected(self):
+        regs = RegisterFile("r", 4)
+        with pytest.raises(SimulationError):
+            regs.read(2)
+
+    def test_out_of_range_rejected(self):
+        regs = RegisterFile("r", 4)
+        with pytest.raises(SimulationError):
+            regs.write(16, 0)
+
+
+class TestSyncFIFO:
+    def test_order_preserved(self):
+        fifo = SyncFIFO("f", 4)
+        for i in range(4):
+            fifo.push(i)
+        assert [fifo.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_full_and_empty_flags(self):
+        fifo = SyncFIFO("f", 2)
+        assert fifo.is_empty and not fifo.is_full
+        fifo.push(1)
+        fifo.push(2)
+        assert fifo.is_full and fifo.space == 0
+
+    def test_push_when_full_raises(self):
+        fifo = SyncFIFO("f", 1)
+        fifo.push(1)
+        with pytest.raises(SimulationError):
+            fifo.push(2)
+
+    def test_pop_when_empty_raises(self):
+        with pytest.raises(SimulationError):
+            SyncFIFO("f", 1).pop()
+
+    def test_peek_leaves_item(self):
+        fifo = SyncFIFO("f", 2)
+        fifo.push(7)
+        assert fifo.peek() == 7
+        assert len(fifo) == 1
+
+
+class TestFrameFIFO:
+    def test_correct_fifo_blocks_whole_frames(self):
+        fifo = FrameFIFO("f", capacity_fragments=32, frame_size=16)
+        for i in range(16):
+            assert fifo.ready_for_push()
+            fifo.push(i)
+        # 16 slots left: exactly one more frame fits.
+        assert fifo.ready_for_push()
+        for i in range(16):
+            fifo.push(100 + i)
+        # Now full: a third frame must be refused at its *first* fragment.
+        assert not fifo.ready_for_push()
+        with pytest.raises(SimulationError):
+            fifo.push(0)
+        assert fifo.dropped_fragments == 0
+
+    def test_correct_fifo_refuses_partial_fit(self):
+        fifo = FrameFIFO("f", capacity_fragments=24, frame_size=16)
+        for i in range(16):
+            fifo.push(i)
+        # 8 slots remain — not enough for a 16-fragment frame.
+        assert not fifo.ready_for_push()
+
+    def test_buggy_fifo_drops_mid_frame(self):
+        """The §5.2 bug: unaligned remaining capacity drops fragments."""
+        fifo = FrameFIFO("f", capacity_fragments=24, frame_size=16,
+                         buggy=True)
+        for i in range(16):
+            fifo.push(i)
+        # Buggy readiness is per-fragment: the second frame starts although
+        # only 8 slots remain; its tail fragments are silently lost.
+        stored = sum(1 for i in range(16) if fifo.push(100 + i))
+        assert stored == 8
+        assert fifo.dropped_fragments == 8
+        assert fifo.dropped_log == [100 + i for i in range(8, 16)]
+
+    def test_buggy_fifo_data_order_of_survivors(self):
+        fifo = FrameFIFO("f", capacity_fragments=16, frame_size=16,
+                         buggy=True)
+        for i in range(20):
+            fifo.push(i)
+        assert [fifo.pop() for _ in range(16)] == list(range(16))
+
+    def test_capacity_must_hold_a_frame(self):
+        with pytest.raises(SimulationError):
+            FrameFIFO("f", capacity_fragments=8, frame_size=16)
+
+    def test_clear_resets_drop_accounting(self):
+        fifo = FrameFIFO("f", 16, 16, buggy=True)
+        for i in range(20):
+            fifo.push(i)
+        fifo.clear()
+        assert fifo.dropped_fragments == 0 and fifo.is_empty

@@ -1,0 +1,121 @@
+"""Tests for the trace mutation tool (§4.2, used by the §5.3 case study)."""
+
+import pytest
+
+from repro.core.events import ChannelInfo, ChannelTable
+from repro.core.mutation import EventRef, TraceMutator
+from repro.core.packets import CyclePacket
+from repro.core.trace_file import TraceFile
+from repro.errors import ConfigError, TraceFormatError
+
+
+def make_trace():
+    """Channels: 0=in 'aw', 1=in 'w', 2=out 'b'. AW ends before W ends."""
+    table = ChannelTable([
+        ChannelInfo(index=0, name="aw", direction="in", content_bytes=2,
+                    payload_bits=16),
+        ChannelInfo(index=1, name="w", direction="in", content_bytes=4,
+                    payload_bits=32),
+        ChannelInfo(index=2, name="b", direction="out", content_bytes=1,
+                    payload_bits=8),
+    ])
+    packets = [
+        CyclePacket(starts=0b011, contents={0: b"\x10\x00", 1: b"\x01\x02\x03\x04"}),
+        CyclePacket(ends=0b001),                                   # aw end
+        CyclePacket(ends=0b010),                                   # w end
+        CyclePacket(ends=0b100, validation={2: b"\x00"}),          # b end
+    ]
+    return TraceFile.from_packets(table, packets, with_validation=True)
+
+
+class TestLocate:
+    def test_missing_event_rejected(self):
+        mut = TraceMutator(make_trace())
+        with pytest.raises(TraceFormatError):
+            mut.move_end_before(EventRef("end", "aw", 5), EventRef("end", "w", 0))
+
+    def test_unknown_channel_rejected(self):
+        mut = TraceMutator(make_trace())
+        with pytest.raises(ConfigError):
+            mut.move_end_before(EventRef("end", "nope", 0), EventRef("end", "w", 0))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            EventRef("middle", "aw", 0)
+
+
+class TestMoveEndBefore:
+    def test_reorders_w_end_before_aw_end(self):
+        mut = TraceMutator(make_trace())
+        mut.move_end_before(EventRef("end", "w", 0), EventRef("end", "aw", 0))
+        mutated = mut.build()
+        packets = mutated.packets()
+        end_order = []
+        for p in packets:
+            for ch in range(3):
+                if (p.ends >> ch) & 1:
+                    end_order.append(ch)
+        assert end_order == [1, 0, 2]  # w before aw, b still last
+        assert mutated.metadata["mutated"] is True
+
+    def test_noop_when_already_before(self):
+        mut = TraceMutator(make_trace())
+        before = [p.ends for p in mut.packets]
+        mut.move_end_before(EventRef("end", "aw", 0), EventRef("end", "w", 0))
+        assert [p.ends for p in mut.packets] == before
+
+    def test_moving_start_rejected(self):
+        mut = TraceMutator(make_trace())
+        with pytest.raises(ConfigError):
+            mut.move_end_before(EventRef("start", "aw", 0),
+                                EventRef("end", "w", 0))
+
+    def test_validation_ok_after_legal_move(self):
+        mut = TraceMutator(make_trace())
+        mut.move_end_before(EventRef("end", "w", 0), EventRef("end", "aw", 0))
+        assert mut.validate() is None
+
+    def test_validation_catches_end_before_start(self):
+        mut = TraceMutator(make_trace())
+        mut.move_end_before(EventRef("end", "w", 0), EventRef("end", "aw", 0))
+        # Manually push the w end before even the starts packet.
+        fresh = mut.packets.pop(1)
+        mut.packets.insert(0, fresh)
+        assert mut.validate() is not None
+
+
+class TestOtherMutations:
+    def test_drop_event(self):
+        mut = TraceMutator(make_trace())
+        mut.drop_event(EventRef("end", "b", 0))
+        ends = 0
+        for p in mut.packets:
+            ends |= p.ends
+        assert not (ends & 0b100)
+
+    def test_drop_removes_empty_packet(self):
+        mut = TraceMutator(make_trace())
+        n = len(mut.packets)
+        mut.drop_event(EventRef("end", "b", 0))
+        assert len(mut.packets) == n - 1
+
+    def test_rewrite_start_content(self):
+        mut = TraceMutator(make_trace())
+        mut.rewrite_start_content(EventRef("start", "w", 0), b"\xff\xee\xdd\xcc")
+        assert mut.packets[0].contents[1] == b"\xff\xee\xdd\xcc"
+
+    def test_rewrite_wrong_length_rejected(self):
+        mut = TraceMutator(make_trace())
+        with pytest.raises(ConfigError):
+            mut.rewrite_start_content(EventRef("start", "w", 0), b"\x00")
+
+    def test_rewrite_end_rejected(self):
+        mut = TraceMutator(make_trace())
+        with pytest.raises(ConfigError):
+            mut.rewrite_start_content(EventRef("end", "w", 0), b"\0\0\0\0")
+
+    def test_build_roundtrips_through_serialization(self):
+        mut = TraceMutator(make_trace())
+        mut.move_end_before(EventRef("end", "w", 0), EventRef("end", "aw", 0))
+        rebuilt = TraceFile.from_bytes(mut.build().to_bytes())
+        assert len(rebuilt.packets()) == len(mut.packets)

@@ -1,0 +1,105 @@
+"""Property-based tests: mutations keep traces structurally valid."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import ChannelInfo, ChannelTable
+from repro.core.mutation import EventRef, TraceMutator
+from repro.core.packets import CyclePacket
+from repro.core.trace_file import TraceFile
+
+
+def make_table(n_in=2, n_out=1):
+    infos = []
+    for i in range(n_in):
+        infos.append(ChannelInfo(index=len(infos), name=f"in{i}",
+                                 direction="in", content_bytes=2,
+                                 payload_bits=16))
+    for i in range(n_out):
+        infos.append(ChannelInfo(index=len(infos), name=f"out{i}",
+                                 direction="out", content_bytes=1,
+                                 payload_bits=8))
+    return ChannelTable(infos)
+
+
+@st.composite
+def random_trace(draw):
+    """A structurally valid trace: per input channel, alternating
+    start/end; output ends interleaved freely."""
+    table = make_table()
+    n_rounds = draw(st.integers(min_value=1, max_value=10))
+    packets = []
+    for round_index in range(n_rounds):
+        for ch in table.input_indices:
+            if draw(st.booleans()):
+                content = bytes([round_index & 0xFF, ch])
+                packets.append(CyclePacket(starts=1 << ch,
+                                           contents={ch: content}))
+                packets.append(CyclePacket(ends=1 << ch))
+        for ch in table.output_indices:
+            if draw(st.booleans()):
+                packets.append(CyclePacket(
+                    ends=1 << ch, validation={ch: bytes([round_index])}))
+    if not packets:
+        packets.append(CyclePacket(ends=1 << table.output_indices[0],
+                                   validation={table.output_indices[0]: b"\0"}))
+    return TraceFile.from_packets(table, packets, with_validation=True)
+
+
+class TestMutationProperties:
+    @given(random_trace(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_without_edits_is_identity(self, trace, data):
+        mutator = TraceMutator(trace)
+        rebuilt = mutator.build()
+        assert rebuilt.packets() == trace.packets() or \
+            [(p.starts, p.ends) for p in rebuilt.packets()] == \
+            [(p.starts, p.ends) for p in trace.packets()]
+
+    @given(random_trace(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_moving_output_ends_preserves_validity(self, trace, data):
+        """Reordering output ends never invalidates input event structure."""
+        table = trace.table
+        out_name = table[table.output_indices[0]].name
+        ends = 0
+        for packet in trace.packets():
+            if (packet.ends >> table.output_indices[0]) & 1:
+                ends += 1
+        if ends < 2:
+            return
+        moved = data.draw(st.integers(min_value=1, max_value=ends - 1))
+        anchor = data.draw(st.integers(min_value=0, max_value=moved - 1))
+        mutator = TraceMutator(trace)
+        mutator.move_end_before(EventRef("end", out_name, moved),
+                                EventRef("end", out_name, anchor))
+        assert mutator.validate() is None
+        # Event counts are conserved.
+        rebuilt = mutator.build()
+        count = 0
+        for packet in rebuilt.packets():
+            if (packet.ends >> table.output_indices[0]) & 1:
+                count += 1
+        assert count == ends
+
+    @given(random_trace())
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_roundtrip_after_build(self, trace):
+        mutator = TraceMutator(trace)
+        rebuilt = TraceFile.from_bytes(mutator.build().to_bytes())
+        assert [(p.starts, p.ends) for p in rebuilt.packets()] == \
+            [(p.starts, p.ends) for p in trace.packets()]
+
+    @given(random_trace(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_drop_conserves_remaining_events(self, trace, data):
+        table = trace.table
+        ch = table.input_indices[0]
+        starts = sum(1 for p in trace.packets() if (p.starts >> ch) & 1)
+        if starts == 0:
+            return
+        occurrence = data.draw(st.integers(min_value=0, max_value=starts - 1))
+        mutator = TraceMutator(trace)
+        mutator.drop_event(EventRef("start", table[ch].name, occurrence))
+        remaining = sum(1 for p in mutator.packets if (p.starts >> ch) & 1)
+        assert remaining == starts - 1

@@ -1,0 +1,204 @@
+"""Unit and property tests for trace packets, contents packing, trace files."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contents_tree import pack_contents, unpack_contents
+from repro.core.events import ChannelInfo, ChannelTable
+from repro.core.packets import (
+    CyclePacket,
+    deserialize_packets,
+    iter_bits,
+    serialize_packets,
+)
+from repro.core.trace_file import TraceFile
+from repro.errors import ConfigError, TraceFormatError
+
+
+def make_table(directions=("in", "in", "out", "out"), content_bytes=(4, 8, 2, 4)):
+    return ChannelTable([
+        ChannelInfo(index=i, name=f"ch{i}", direction=d,
+                    content_bytes=b, payload_bits=b * 8)
+        for i, (d, b) in enumerate(zip(directions, content_bytes))
+    ])
+
+
+class TestChannelTable:
+    def test_indices_must_be_sequential(self):
+        with pytest.raises(ConfigError):
+            ChannelTable([ChannelInfo(index=1, name="x", direction="in",
+                                      content_bytes=1, payload_bits=8)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            ChannelTable([
+                ChannelInfo(index=0, name="x", direction="in",
+                            content_bytes=1, payload_bits=8),
+                ChannelInfo(index=1, name="x", direction="out",
+                            content_bytes=1, payload_bits=8),
+            ])
+
+    def test_roundtrip_through_dict(self):
+        table = make_table()
+        again = ChannelTable.from_dict(table.to_dict())
+        assert again.to_dict() == table.to_dict()
+
+    def test_input_output_partition(self):
+        table = make_table()
+        assert table.input_indices == (0, 1)
+        assert table.output_indices == (2, 3)
+
+    def test_by_name(self):
+        table = make_table()
+        assert table.by_name("ch2").direction == "out"
+        with pytest.raises(ConfigError):
+            table.by_name("nope")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ConfigError):
+            ChannelInfo(index=0, name="x", direction="sideways",
+                        content_bytes=1, payload_bits=8)
+
+
+class TestContentsTree:
+    def test_pack_orders_by_index(self):
+        blob = pack_contents([(3, b"CC"), (0, b"A"), (2, b"BB")])
+        assert blob == b"ABBCC"
+
+    def test_unpack_roundtrip(self):
+        table = make_table()
+        entries = {0: b"\x01\x02\x03\x04", 1: b"\x10" * 8}
+        blob = pack_contents(entries.items())
+        assert unpack_contents(blob, [0, 1], table) == entries
+
+    def test_unpack_trailing_bytes_rejected(self):
+        table = make_table()
+        with pytest.raises(TraceFormatError):
+            unpack_contents(b"\x00" * 5, [0], table)
+
+    def test_unpack_truncated_rejected(self):
+        table = make_table()
+        with pytest.raises(TraceFormatError):
+            unpack_contents(b"\x00" * 3, [0], table)
+
+    def test_duplicate_entries_rejected(self):
+        with pytest.raises(TraceFormatError):
+            pack_contents([(0, b"a"), (0, b"b")])
+
+    def test_empty_pack(self):
+        assert pack_contents([]) == b""
+
+
+class TestCyclePacket:
+    def test_serialize_deserialize_roundtrip(self):
+        table = make_table()
+        packet = CyclePacket(
+            starts=0b0011, ends=0b1101,
+            contents={0: b"\xaa" * 4, 1: b"\xbb" * 8},
+            validation={2: b"\x01\x02", 3: b"\x03\x04\x05\x06"},
+        )
+        blob = packet.serialize(table, with_validation=True)
+        out, consumed = CyclePacket.deserialize(memoryview(blob), 0, table, True)
+        assert consumed == len(blob)
+        assert out.starts == packet.starts
+        assert out.ends == packet.ends
+        assert out.contents == packet.contents
+        assert out.validation == packet.validation
+
+    def test_no_validation_mode_skips_output_contents(self):
+        table = make_table()
+        packet = CyclePacket(starts=0b01, ends=0b0100,
+                             contents={0: b"\x00" * 4})
+        blob = packet.serialize(table, with_validation=False)
+        out, _ = CyclePacket.deserialize(memoryview(blob), 0, table, False)
+        assert out.validation == {}
+        assert out.ends == 0b0100
+
+    def test_start_on_output_channel_rejected(self):
+        table = make_table()
+        packet = CyclePacket(starts=0b0100, ends=0)
+        blob = packet.serialize(table, with_validation=False)
+        with pytest.raises(TraceFormatError):
+            CyclePacket.deserialize(memoryview(blob), 0, table, False)
+
+    def test_empty_packet_rejected_on_decode(self):
+        table = make_table()
+        blob = CyclePacket(starts=0, ends=0).serialize(table, False)
+        with pytest.raises(TraceFormatError):
+            CyclePacket.deserialize(memoryview(blob), 0, table, False)
+
+    def test_channel_packet_decomposition(self):
+        packet = CyclePacket(starts=0b01, ends=0b11,
+                             contents={0: b"\x12\x00\x00\x00"})
+        cp0 = packet.channel_packet(0)
+        assert cp0.start and cp0.end and cp0.content == b"\x12\x00\x00\x00"
+        cp1 = packet.channel_packet(1)
+        assert not cp1.start and cp1.end and cp1.content is None
+
+    def test_iter_bits(self):
+        assert iter_bits(0b1011, 4) == [0, 1, 3]
+        with pytest.raises(TraceFormatError):
+            iter_bits(1 << 10, 4)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_stream_roundtrip_property(self, data):
+        table = make_table()
+        n_packets = data.draw(st.integers(min_value=1, max_value=12))
+        packets = []
+        for _ in range(n_packets):
+            starts = data.draw(st.integers(min_value=0, max_value=0b11))
+            ends = data.draw(st.integers(min_value=0, max_value=0b1111))
+            if starts == 0 and ends == 0:
+                ends = 0b1000
+            contents = {
+                i: bytes(data.draw(st.binary(min_size=table[i].content_bytes,
+                                             max_size=table[i].content_bytes)))
+                for i in iter_bits(starts, 4)
+            }
+            validation = {
+                i: bytes(data.draw(st.binary(min_size=table[i].content_bytes,
+                                             max_size=table[i].content_bytes)))
+                for i in iter_bits(ends, 4) if not table.is_input(i)
+            }
+            packets.append(CyclePacket(starts=starts, ends=ends,
+                                       contents=contents, validation=validation))
+        blob = serialize_packets(packets, table, True)
+        out = deserialize_packets(blob, table, True)
+        assert len(out) == len(packets)
+        for a, b in zip(packets, out):
+            assert (a.starts, a.ends, a.contents, a.validation) == \
+                   (b.starts, b.ends, b.contents, b.validation)
+
+
+class TestTraceFile:
+    def test_bytes_roundtrip(self):
+        table = make_table()
+        packets = [CyclePacket(starts=0b01, ends=0b01,
+                               contents={0: b"\x01\x02\x03\x04"})]
+        trace = TraceFile.from_packets(table, packets, with_validation=True,
+                                       metadata={"app": "toy", "seed": 3})
+        again = TraceFile.from_bytes(trace.to_bytes())
+        assert again.body == trace.body
+        assert again.metadata == {"app": "toy", "seed": 3}
+        assert again.with_validation
+        assert again.table.to_dict() == table.to_dict()
+
+    def test_save_load(self, tmp_path):
+        table = make_table()
+        trace = TraceFile.from_packets(
+            table, [CyclePacket(ends=0b1000, validation={3: b"\0" * 4})])
+        path = tmp_path / "t.vidi"
+        trace.save(path)
+        assert TraceFile.load(path).body == trace.body
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceFile.from_bytes(b"NOTATRACE" + b"\0" * 32)
+
+    def test_size_bytes(self):
+        table = make_table()
+        trace = TraceFile.from_packets(
+            table, [CyclePacket(ends=0b0001)], with_validation=False)
+        assert trace.size_bytes == 2  # two 1-byte bitvectors, no contents

@@ -1,0 +1,44 @@
+"""§5.4 sweep: record+replay every application; transaction determinism holds.
+
+This is the test-suite version of the divergence benchmark: smaller
+workloads, every application, asserting the §5.4 guarantees —
+counts and orderings always reproduce; contents reproduce everywhere
+except the polling DRAM DMA.
+"""
+
+import pytest
+
+from repro.apps.registry import APPS, get_app
+from repro.core import VidiConfig, compare_traces
+from repro.harness.runner import bench_config, record_run, replay_run
+
+
+@pytest.mark.parametrize("key", list(APPS))
+def test_record_replay_transaction_determinism(key):
+    spec = get_app(key)
+    metrics = record_run(spec, bench_config(VidiConfig.r2), seed=77,
+                         scale=0.4)
+    trace = metrics.result["trace"]
+    replay = replay_run(spec, trace)
+    report = compare_traces(trace, replay.result["validation"])
+    assert not report.of_kind("count"), report.summary()
+    assert not report.of_kind("ordering"), report.summary()
+    if key != "dram_dma":
+        # Content divergence is possible only for the polling application.
+        assert not report.of_kind("content"), report.summary()
+
+
+@pytest.mark.parametrize("key", ["sha256", "sssp", "bnn"])
+def test_replay_reconstructs_internal_dram(key):
+    """Replay recreates the accelerator's internal DRAM output regions."""
+    spec = get_app(key)
+    metrics = record_run(spec, bench_config(VidiConfig.r2), seed=78,
+                         scale=0.4)
+    trace = metrics.result["trace"]
+    replay = replay_run(spec, trace)
+    recorded_output = metrics.result["expected"]
+    deployment = replay.result["deployment"]
+    out_base = 0xF_0000
+    replayed = deployment.accelerator.dram.read_bytes(out_base,
+                                                      len(recorded_output))
+    assert replayed == recorded_output

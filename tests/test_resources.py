@@ -1,0 +1,86 @@
+"""Tests for the analytical resource model (Table 2 / Fig. 7)."""
+
+import pytest
+
+from repro.apps.registry import APPS
+from repro.errors import ResourceModelError
+from repro.resources.model import (
+    FIG7_COMBINATIONS,
+    fig7_sweep,
+    interface_payload_bits,
+    shim_resources,
+)
+
+
+class TestInterfaceWidths:
+    def test_lite_and_full_widths(self):
+        assert interface_payload_bits("sda") == 136
+        assert interface_payload_bits("ocl") == 136
+        assert interface_payload_bits("bar1") == 136
+        assert interface_payload_bits("pcim") == 1324
+        assert interface_payload_bits("pcis") == 1324
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(ResourceModelError):
+            interface_payload_bits("nvme")
+
+
+class TestShimResources:
+    def test_full_configuration_matches_paper_ballpark(self):
+        report = shim_resources()
+        assert report.monitored_bits == 3056
+        assert 5.2 < report.lut_pct < 6.0      # paper: ~5.6
+        assert 3.6 < report.ff_pct < 4.1       # paper: ~3.8
+        assert report.bram_pct == pytest.approx(6.92, abs=0.05)
+
+    def test_per_app_perturbation_is_deterministic(self):
+        a = shim_resources(app="bnn")
+        b = shim_resources(app="bnn")
+        assert (a.luts, a.ffs) == (b.luts, b.ffs)
+
+    def test_different_apps_differ(self):
+        assert shim_resources(app="bnn").luts != shim_resources(app="sha256").luts
+
+    def test_pcim_sharing_costs_extra(self):
+        plain = shim_resources(app="dram_dma")
+        shared = shim_resources(app="dram_dma", app_uses_pcim=True)
+        assert shared.luts > plain.luts
+        assert shared.ffs > plain.ffs
+
+    def test_every_table2_row_under_seven_percent(self):
+        for key in APPS:
+            report = shim_resources(app=key, app_uses_pcim=(key == "dram_dma"))
+            assert report.lut_pct < 7.0
+            assert report.ff_pct < 7.0
+            assert report.bram_pct < 7.0
+
+    def test_matches_paper_within_tolerance(self):
+        for key, spec in APPS.items():
+            report = shim_resources(app=key, app_uses_pcim=(key == "dram_dma"))
+            assert report.lut_pct == pytest.approx(spec.paper.lut_pct, abs=0.4)
+            assert report.ff_pct == pytest.approx(spec.paper.ff_pct, abs=0.4)
+
+
+class TestFig7Sweep:
+    def test_eleven_combinations(self):
+        sweep = fig7_sweep()
+        assert len(sweep) == 11
+        assert set(sweep) == set(FIG7_COMBINATIONS)
+
+    def test_width_range(self):
+        sweep = fig7_sweep()
+        widths = [r.monitored_bits for r in sweep.values()]
+        assert min(widths) == 136
+        assert max(widths) == 3056
+
+    def test_monotone_in_width(self):
+        sweep = sorted(fig7_sweep().values(), key=lambda r: r.monitored_bits)
+        for a, b in zip(sweep, sweep[1:]):
+            assert b.luts >= a.luts
+            assert b.ffs >= a.ffs
+            assert b.bram_blocks >= a.bram_blocks
+
+    def test_single_lite_interface_is_cheap(self):
+        sda = shim_resources(interfaces=("sda",))
+        full = shim_resources()
+        assert sda.lut_pct < 0.35 * full.lut_pct

@@ -1,0 +1,127 @@
+"""Tests for the §4.2 runtime library and §4.1 component-level boundaries."""
+
+import pytest
+
+from repro.apps.sha256 import make
+from repro.core import VidiConfig
+from repro.core.runtime import VidiRuntime
+from repro.errors import ConfigError
+from repro.platform import F1Deployment, MmioWrite, WaitCycles
+
+
+class TestVidiRuntime:
+    def test_requires_record_configuration(self):
+        accelerator_factory, _ = make()
+        deployment = F1Deployment("r1", accelerator_factory,
+                                  VidiConfig.r1(), seed=0)
+        with pytest.raises(ConfigError):
+            VidiRuntime(deployment)
+
+    def test_disabled_window_records_nothing(self):
+        accelerator_factory, _ = make()
+        deployment = F1Deployment("rt", accelerator_factory,
+                                  VidiConfig.r2(), seed=0)
+        runtime = VidiRuntime(deployment)
+        runtime.disable_recording()
+
+        def program():
+            yield MmioWrite("ocl", 0x20, 0xAAAA)
+            yield WaitCycles(5)
+
+        deployment.cpu.add_thread(program())
+        deployment.run_to_completion()
+        assert runtime.trace().size_bytes == 0
+
+    def test_window_gating_excludes_setup_traffic(self):
+        accelerator_factory, _ = make()
+        deployment = F1Deployment("rt2", accelerator_factory,
+                                  VidiConfig.r2(), seed=0)
+        runtime = VidiRuntime(deployment)
+        runtime.disable_recording()
+
+        def setup():
+            yield MmioWrite("ocl", 0x20, 1)   # not recorded
+
+        deployment.cpu.add_thread(setup())
+        deployment.run_to_completion()
+        assert runtime.trace().size_bytes == 0
+
+        # Fresh deployment: record only the "invocation" window.
+        deployment2 = F1Deployment("rt3", accelerator_factory,
+                                   VidiConfig.r2(), seed=0)
+        runtime2 = VidiRuntime(deployment2)
+
+        def setup_then_work():
+            yield MmioWrite("ocl", 0x20, 1)
+            yield WaitCycles(150)
+            yield MmioWrite("ocl", 0x24, 2)
+
+        runtime2.disable_recording()
+        deployment2.cpu.add_thread(setup_then_work())
+        # Run the setup write un-recorded, then open the window for the rest.
+        deployment2.sim.run(60)
+        with runtime2.recording():
+            deployment2.run_to_completion()
+        trace = runtime2.trace()
+        ocl_w = trace.table.by_name("ocl.w").index
+        starts = sum(1 for p in trace.packets() if (p.starts >> ocl_w) & 1)
+        assert starts == 1   # only the in-window register write
+
+    def test_save_roundtrip(self, tmp_path):
+        accelerator_factory, host_factory = make()
+        deployment = F1Deployment("rt4", accelerator_factory,
+                                  VidiConfig.r2(), seed=0)
+        runtime = VidiRuntime(deployment)
+        result = {}
+        deployment.cpu.add_thread(host_factory(result, seed=1, scale=0.3))
+        deployment.run_to_completion()
+        path = tmp_path / "runtime.trace"
+        trace = runtime.save(path, metadata={"via": "runtime"})
+        from repro.core import TraceFile
+
+        again = TraceFile.load(path)
+        assert again.body == trace.body
+        assert again.metadata["via"] == "runtime"
+
+    def test_recording_enabled_property(self):
+        accelerator_factory, _ = make()
+        deployment = F1Deployment("rt5", accelerator_factory,
+                                  VidiConfig.r2(), seed=0)
+        runtime = VidiRuntime(deployment)
+        assert runtime.recording_enabled
+        runtime.disable_recording()
+        assert not runtime.recording_enabled
+        with runtime.recording():
+            assert runtime.recording_enabled
+        assert not runtime.recording_enabled
+
+
+class TestComponentReplay:
+    def test_internal_channel_record_replay(self):
+        """§4.1: a component boundary takes a handful of wiring lines."""
+        import importlib.util
+        import pathlib
+        import sys
+
+        example = (pathlib.Path(__file__).resolve().parent.parent
+                   / "examples" / "component_replay.py")
+        spec = importlib.util.spec_from_file_location("component_replay",
+                                                      example)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules["component_replay"] = module
+        spec.loader.exec_module(module)
+        state, trace = module.record_pipeline(seed=3, count=120)
+        assert trace.size_bytes > 0
+        assert module.replay_classifier_alone(trace) == state
+
+    def test_component_trace_is_portable(self, tmp_path):
+        import importlib
+        module = importlib.import_module("component_replay")
+        _, trace = module.record_pipeline(seed=4, count=40)
+        path = tmp_path / "component.trace"
+        trace.save(path)
+        from repro.core import TraceFile
+
+        loaded = TraceFile.load(path)
+        assert module.replay_classifier_alone(loaded) == \
+            module.record_pipeline(seed=4, count=40)[0]

@@ -1,0 +1,186 @@
+"""Unit tests for the simulation kernel: signals, modules, scheduler."""
+
+import pytest
+
+from repro.errors import CombinationalLoopError, SimulationError, WatchdogTimeout
+from repro.sim import Module, Signal, Simulator
+
+
+class Counter(Module):
+    """Registered counter used to validate seq/commit semantics."""
+
+    has_comb = False
+
+    def __init__(self, name="counter", width=8):
+        super().__init__(name)
+        self.count = self.signal("count", width=width)
+
+    def seq(self):
+        self.count.set_next(self.count.value + 1)
+
+
+class Inverter(Module):
+    """Combinational inverter: out = ~inp (1 bit)."""
+
+    def __init__(self, name, inp, out):
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+
+    def comb(self):
+        self.out.drive(0 if self.inp.value else 1)
+
+
+class TestSignal:
+    def test_width_masking_on_drive(self):
+        sim = Simulator()
+        mod = Module("m")
+        sig = mod.signal("s", width=4)
+        sim.add(mod)
+        sim.elaborate()
+        sig.drive(0x1F)
+        assert sig.value == 0xF
+
+    def test_set_next_not_visible_until_commit(self):
+        sim = Simulator()
+        counter = Counter()
+        sim.add(counter)
+        sim.elaborate()
+        assert counter.count.value == 0
+        sim.step()
+        assert counter.count.value == 1
+        sim.step()
+        assert counter.count.value == 2
+
+    def test_counter_wraps_at_width(self):
+        sim = Simulator()
+        counter = Counter(width=2)
+        sim.add(counter)
+        sim.run(5)
+        assert counter.count.value == 1  # 5 mod 4
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(SimulationError):
+            Signal("bad", width=0)
+
+    def test_set_next_before_elaboration_rejected(self):
+        mod = Module("m")
+        sig = mod.signal("s")
+        with pytest.raises(SimulationError):
+            sig.set_next(1)
+
+    def test_bit_accessor(self):
+        sim = Simulator()
+        mod = Module("m")
+        sig = mod.signal("s", width=8)
+        sim.add(mod)
+        sim.elaborate()
+        sig.drive(0b1010_0001)
+        assert sig.bit(0) == 1
+        assert sig.bit(1) == 0
+        assert sig.bit(7) == 1
+
+    def test_double_bind_rejected(self):
+        sig = Signal("s")
+        sig.bind(Simulator())
+        with pytest.raises(SimulationError):
+            sig.bind(Simulator())
+
+    def test_rebind_same_simulator_ok(self):
+        sim = Simulator()
+        sig = Signal("s")
+        sig.bind(sim)
+        sig.bind(sim)  # idempotent
+
+
+class TestCombinationalSettling:
+    def test_chain_of_inverters_settles(self):
+        """A 3-deep comb chain needs multiple delta passes to settle."""
+        sim = Simulator()
+        top = Module("top")
+        a = top.signal("a")
+        b = top.signal("b")
+        c = top.signal("c")
+        d = top.signal("d")
+        # Deliberately add in reverse dependency order to force delta passes.
+        top.submodule(Inverter("i3", c, d))
+        top.submodule(Inverter("i2", b, c))
+        top.submodule(Inverter("i1", a, b))
+        sim.add(top)
+        sim.step()
+        assert (b.value, c.value, d.value) == (1, 0, 1)
+        a.drive(1)
+        sim.step()
+        assert (b.value, c.value, d.value) == (0, 1, 0)
+
+    def test_cross_coupled_inverters_settle_as_latch(self):
+        """x=~y, y=~x has stable solutions; the delta loop finds one."""
+        sim = Simulator(max_delta=8)
+        top = Module("top")
+        x = top.signal("x")
+        y = top.signal("y")
+        top.submodule(Inverter("i1", x, y))
+        top.submodule(Inverter("i2", y, x))
+        sim.add(top)
+        sim.step()
+        assert x.value != y.value
+
+    def test_combinational_loop_detected(self):
+        """x = ~x oscillates forever and must be flagged."""
+        sim = Simulator(max_delta=8)
+        top = Module("top")
+        x = top.signal("x")
+        top.submodule(Inverter("i", x, x))
+        sim.add(top)
+        with pytest.raises(CombinationalLoopError):
+            sim.step()
+
+
+class TestSimulatorControl:
+    def test_run_until_returns_elapsed_cycles(self):
+        sim = Simulator()
+        counter = Counter()
+        sim.add(counter)
+        elapsed = sim.run_until(lambda: counter.count.value == 10, max_cycles=100)
+        assert elapsed == 10
+
+    def test_run_until_raises_watchdog(self):
+        sim = Simulator()
+        counter = Counter(width=2)
+        sim.add(counter)
+        with pytest.raises(WatchdogTimeout):
+            sim.run_until(lambda: counter.count.value == 9, max_cycles=50)
+
+    def test_add_after_elaborate_rejected(self):
+        sim = Simulator()
+        sim.add(Counter("c1"))
+        sim.elaborate()
+        with pytest.raises(SimulationError):
+            sim.add(Counter("c2"))
+
+    def test_reset_restores_power_on_state(self):
+        sim = Simulator()
+        counter = Counter()
+        sim.add(counter)
+        sim.run(7)
+        sim.reset()
+        assert sim.cycle == 0
+        assert counter.count.value == 0
+        sim.run(3)
+        assert counter.count.value == 3
+
+    def test_cycle_hook_called_each_cycle(self):
+        sim = Simulator()
+        sim.add(Counter())
+        seen = []
+        sim.add_cycle_hook(seen.append)
+        sim.run(4)
+        assert seen == [1, 2, 3, 4]
+
+    def test_submodule_flattening(self):
+        sim = Simulator()
+        top = Module("top")
+        inner = top.submodule(Counter("inner"))
+        sim.add(top)
+        sim.run(2)
+        assert inner.count.value == 2

@@ -1,0 +1,160 @@
+"""Tests for the AXI-Stream extension and the packet-filter dataplane."""
+
+import pytest
+
+from repro.apps import packet_filter
+from repro.channels.axi_stream import (
+    AXIS_SPEC,
+    axis_interface,
+    pack_packet,
+    unpack_packets,
+)
+from repro.core import VidiConfig, compare_traces
+from repro.platform import F1Deployment
+
+AXIS_CONFIG = ("sda", "ocl", "bar1", "pcim", "pcis", "axis_in", "axis_out")
+
+
+def run_filter(seed=5, n_packets=24, config=None, scale=1.0):
+    acc_factory, host_factory = packet_filter.make(n_packets=n_packets)
+    deployment = F1Deployment(
+        "pf", acc_factory,
+        config or VidiConfig.r2(interfaces=AXIS_CONFIG), seed=seed)
+    packets = packet_filter.workload(seed, n_packets=int(n_packets * scale))
+    deployment.stream_driver.load_packets(packets)
+    result = {}
+    deployment.cpu.add_thread(host_factory(result, seed=seed, scale=scale))
+    deployment.run_to_completion(max_cycles=2_000_000)
+    return deployment, result, packets
+
+
+class TestAxisPrimitives:
+    def test_spec_width(self):
+        assert AXIS_SPEC.width == 577   # 512 data + 64 keep + last
+
+    def test_pack_unpack_roundtrip(self):
+        packets = [b"hello world", b"x" * 64, b"y" * 130, b""]
+        beats = []
+        for packet in packets:
+            beats.extend(pack_packet(packet))
+        assert unpack_packets(beats) == packets
+
+    def test_direction_from_manager(self):
+        assert axis_interface("i", manager="cpu").t.direction == "in"
+        assert axis_interface("o", manager="fpga").t.direction == "out"
+
+
+class TestGoldenModel:
+    def test_drop_rule(self):
+        import random
+
+        rng = random.Random(0)
+        keep = packet_filter.make_packet(rng, proto=5)
+        drop = packet_filter.make_packet(rng, proto=17)
+        forwarded, dropped = packet_filter.filter_golden([keep, drop], 17)
+        assert dropped == 1
+        assert len(forwarded) == 1
+
+    def test_ttl_decrement_and_checksum(self):
+        import random
+
+        packet = packet_filter.make_packet(random.Random(1), proto=3)
+        forwarded, _ = packet_filter.filter_golden([packet], 17)
+        out = forwarded[0]
+        assert out[8] == packet[8] - 1
+        assert int.from_bytes(out[12:14], "little") == \
+            packet_filter.header_checksum(out[:16])
+
+    def test_expired_ttl_dropped(self):
+        import random
+
+        packet = bytearray(packet_filter.make_packet(random.Random(2), 3))
+        packet[8] = 1
+        _, dropped = packet_filter.filter_golden([bytes(packet)], 17)
+        assert dropped == 1
+
+
+class TestDataplane:
+    def test_forwarded_packets_match_golden(self):
+        deployment, result, packets = run_filter()
+        golden, dropped = packet_filter.filter_golden(packets, 17)
+        assert result["forwarded"] == len(golden)
+        assert result["dropped"] == dropped
+        assert deployment.stream_collector.packets() == golden
+
+    def test_ingress_stalls_until_started(self):
+        """The control-plane ordering dependency: no RX before CTRL."""
+        acc_factory, _ = packet_filter.make()
+        deployment = F1Deployment(
+            "pf2", acc_factory, VidiConfig.r1(), with_axis=True, seed=1)
+        deployment.stream_driver.load_packets(
+            packet_filter.workload(1, n_packets=4))
+        deployment.sim.run(300)
+        assert deployment.accelerator.rx.received == []
+
+    def test_record_replay_clean(self):
+        deployment, result, packets = run_filter(seed=9)
+        trace = deployment.recorded_trace({"app": "packet_filter"})
+        assert trace.table.n == 27   # 25 AXI channels + two stream channels
+        acc_factory, _ = packet_filter.make()
+        replay = F1Deployment(
+            "pf_r", acc_factory, VidiConfig.r3(interfaces=AXIS_CONFIG),
+            replay_trace=trace)
+        replay.run_replay(max_cycles=2_000_000)
+        report = compare_traces(trace, replay.recorded_trace())
+        assert report.clean, report.summary()
+
+    def test_replay_reproduces_counters(self):
+        deployment, result, packets = run_filter(seed=11)
+        trace = deployment.recorded_trace()
+        acc_factory, _ = packet_filter.make()
+        replay = F1Deployment(
+            "pf_r2", acc_factory, VidiConfig.r3(interfaces=AXIS_CONFIG),
+            replay_trace=trace)
+        replay.run_replay(max_cycles=2_000_000)
+        assert replay.accelerator.regs[packet_filter.REG_FORWARDED] == \
+            result["forwarded"]
+        assert replay.accelerator.regs[packet_filter.REG_DROPPED] == \
+            result["dropped"]
+
+
+class TestOrderlessOnStreams:
+    def test_orderless_replay_suffices_for_a_lone_stream(self):
+        """DebugGovernor's actual use case: one streaming interface on an
+        already-configured core. With no cross-channel ordering to get
+        wrong, per-channel content replay works."""
+        from repro.baselines.orderless import OrderlessRecorder, OrderlessReplayer
+        from repro.channels.handshake import ChannelSink
+        from repro.channels.axi_stream import axis_interface
+        from repro.sim import Simulator
+
+        deployment, result, packets = run_filter(seed=13)
+        golden, _ = packet_filter.filter_golden(packets, 17)
+
+        # Re-create just the stream pair around a pre-started filter core.
+        sim = Simulator("ol")
+        interfaces = {
+            name: iface for name, iface in
+            __import__("repro.platform.interfaces",
+                       fromlist=["make_f1_interfaces"]).make_f1_interfaces(
+                           "olpf", with_axis=True).items()
+        }
+        for iface in interfaces.values():
+            sim.add(iface)
+        accelerator = packet_filter.PacketFilter("pf_ol", interfaces)
+        accelerator.regs[packet_filter.REG_DROP_PROTO] = 17
+        accelerator.regs[packet_filter.REG_EXPECTED] = 1 << 30
+        accelerator.started = True        # pre-configured core
+        sim.add(accelerator)
+        streams = {"in": [AXIS_SPEC.to_bytes(AXIS_SPEC.pack(b))
+                          for p in packets for b in pack_packet(p)]}
+        replayer = OrderlessReplayer(
+            "olrep", [interfaces["axis_in"].t], {
+                interfaces["axis_in"].t.name: streams["in"]})
+        sim.add(replayer)
+        collector = ChannelSink("olsink", interfaces["axis_out"].t)
+        sim.add(collector)
+        sim.run_until(lambda: replayer.done, max_cycles=200_000)
+        sim.run(2000)
+        beats = [AXIS_SPEC.unpack(w) for w in collector.received]
+        assert unpack_packets(beats) == golden

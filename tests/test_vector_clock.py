@@ -1,0 +1,109 @@
+"""Unit and property tests for vector clocks and happens-before relations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import TransactionEvent, happens_before
+from repro.core.vector_clock import VectorClock
+from repro.errors import ConfigError, ReplayError
+
+
+class TestVectorClock:
+    def test_initial_zero(self):
+        clock = VectorClock(4)
+        assert clock.as_tuple() == (0, 0, 0, 0)
+
+    def test_increment(self):
+        clock = VectorClock(3)
+        clock.increment(1)
+        clock.increment(1)
+        clock.increment(2)
+        assert clock.as_tuple() == (0, 2, 1)
+
+    def test_from_sequence(self):
+        assert VectorClock([3, 1]).as_tuple() == (3, 1)
+
+    def test_advance_by_mask(self):
+        clock = VectorClock(4)
+        clock.advance_by_mask(0b1010)
+        clock.advance_by_mask(0b0010)
+        assert clock.as_tuple() == (0, 2, 0, 1)
+
+    def test_advance_mask_too_wide_rejected(self):
+        with pytest.raises(ReplayError):
+            VectorClock(2).advance_by_mask(0b100)
+
+    def test_geq_reflexive(self):
+        clock = VectorClock([1, 2, 3])
+        assert clock.geq(clock)
+
+    def test_geq_componentwise(self):
+        assert VectorClock([2, 2]).geq(VectorClock([1, 2]))
+        assert not VectorClock([2, 1]).geq(VectorClock([1, 2]))
+
+    def test_geq_width_mismatch_rejected(self):
+        with pytest.raises(ReplayError):
+            VectorClock(2).geq(VectorClock(3))
+
+    def test_copy_is_independent(self):
+        a = VectorClock([1, 1])
+        b = a.copy()
+        b.increment(0)
+        assert a.as_tuple() == (1, 1)
+        assert b.as_tuple() == (2, 1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=8),
+           st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=8))
+    @settings(max_examples=60)
+    def test_geq_is_a_partial_order(self, a_counts, b_counts):
+        n = min(len(a_counts), len(b_counts))
+        a = VectorClock(a_counts[:n])
+        b = VectorClock(b_counts[:n])
+        # Antisymmetry: mutual geq implies equality.
+        if a.geq(b) and b.geq(a):
+            assert a.as_tuple() == b.as_tuple()
+        # geq agrees with componentwise definition.
+        assert a.geq(b) == all(x >= y for x, y in zip(a.counts, b.counts))
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_advance_monotone(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=6))
+        clock = VectorClock(n)
+        for _ in range(data.draw(st.integers(min_value=0, max_value=10))):
+            before = clock.copy()
+            clock.advance_by_mask(
+                data.draw(st.integers(min_value=0, max_value=(1 << n) - 1)))
+            assert clock.geq(before)
+
+
+class TestHappensBefore:
+    def event(self, vclock, channel=0, seq_no=0):
+        return TransactionEvent(kind="end", channel=channel, seq_no=seq_no,
+                                vclock=vclock)
+
+    def test_strictly_smaller_clock_happens_before(self):
+        assert happens_before(self.event((0, 1)), self.event((1, 1)))
+
+    def test_equal_clocks_not_ordered(self):
+        assert not happens_before(self.event((1, 1)), self.event((1, 1)))
+
+    def test_concurrent_events_not_ordered(self):
+        assert not happens_before(self.event((1, 0)), self.event((0, 1)))
+        assert not happens_before(self.event((0, 1)), self.event((1, 0)))
+
+    def test_requires_clocks(self):
+        bare = TransactionEvent(kind="end", channel=0, seq_no=0)
+        with pytest.raises(ConfigError):
+            happens_before(bare, self.event((1,)))
+
+    def test_mismatched_widths_rejected(self):
+        with pytest.raises(ConfigError):
+            happens_before(self.event((1,)), self.event((1, 2)))
+
+    def test_bad_event_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            TransactionEvent(kind="middle", channel=0, seq_no=0)

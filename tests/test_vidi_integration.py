@@ -1,0 +1,147 @@
+"""End-to-end Vidi tests on the F1 deployment: R1 -> R2 -> R3 workflows."""
+
+import pytest
+
+from repro.apps.dram_dma import check, make
+from repro.core import VidiConfig, VidiMode, compare_traces
+from repro.errors import ConfigError
+from repro.platform import EnvironmentMode, F1Deployment
+
+
+def run_host(config, seed, host_seed=7, scale=0.25, polling=True, **dep_kwargs):
+    acc_factory, host_factory = make(polling=polling)
+    dep = F1Deployment("t", acc_factory, config, seed=seed, **dep_kwargs)
+    result = {}
+    dep.cpu.add_thread(host_factory(result, seed=host_seed, scale=scale))
+    cycles = dep.run_to_completion(max_cycles=400_000)
+    return dep, result, cycles
+
+
+def run_replay(trace, polling=True):
+    acc_factory, _ = make(polling=polling)
+    dep = F1Deployment("r", acc_factory, VidiConfig.r3(), replay_trace=trace)
+    cycles = dep.run_replay(max_cycles=400_000)
+    return dep, cycles
+
+
+class TestRecordTransparency:
+    """§5.4 'Recording': R1 and R2 must produce identical application output."""
+
+    def test_r1_produces_correct_output(self):
+        _, result, _ = run_host(VidiConfig.r1(), seed=3)
+        check(result)
+
+    def test_r2_produces_correct_output(self):
+        _, result, _ = run_host(VidiConfig.r2(), seed=3)
+        check(result)
+
+    def test_r1_r2_same_cycles_same_seed(self):
+        """With ample store bandwidth, recording adds zero cycles."""
+        _, _, c1 = run_host(VidiConfig.r1(), seed=5)
+        _, _, c2 = run_host(VidiConfig.r2(), seed=5)
+        assert c1 == c2
+
+    def test_recording_deterministic_given_seed(self):
+        dep_a, _, _ = run_host(VidiConfig.r2(), seed=11)
+        dep_b, _, _ = run_host(VidiConfig.r2(), seed=11)
+        assert dep_a.recorded_trace().body == dep_b.recorded_trace().body
+
+
+class TestReplay:
+    def test_replay_completes_and_validates(self):
+        dep, result, _ = run_host(VidiConfig.r2(), seed=2)
+        check(result)
+        trace = dep.recorded_trace({"app": "dram_dma"})
+        rdep, _ = run_replay(trace)
+        report = compare_traces(trace, rdep.recorded_trace())
+        assert report.output_transactions > 0
+        # Polling can legitimately diverge in content; ordering and counts
+        # must always hold under transaction determinism.
+        assert not report.of_kind("count")
+        assert not report.of_kind("ordering")
+
+    def test_replay_recreates_internal_state(self):
+        """Replay reconstructs on-FPGA DRAM contents from the trace alone."""
+        dep, result, _ = run_host(VidiConfig.r2(), seed=4)
+        trace = dep.recorded_trace()
+        rdep, _ = run_replay(trace)
+        from repro.apps.dram_dma import DST_BASE
+        expected = result["expected"]
+        replayed = rdep.accelerator.dram.read_bytes(DST_BASE, len(expected))
+        assert replayed == expected
+
+    def test_interrupt_patched_app_never_diverges(self):
+        """§3.6: the 10-line interrupt patch removes all content divergence."""
+        dep, result, _ = run_host(VidiConfig.r2(), seed=6, polling=False)
+        check(result)
+        trace = dep.recorded_trace()
+        rdep, _ = run_replay(trace, polling=False)
+        report = compare_traces(trace, rdep.recorded_trace())
+        assert report.clean, report.summary()
+
+    def test_replay_is_deterministic(self):
+        dep, _, _ = run_host(VidiConfig.r2(), seed=8)
+        trace = dep.recorded_trace()
+        a, _ = run_replay(trace)
+        b, _ = run_replay(trace)
+        assert a.recorded_trace().body == b.recorded_trace().body
+
+    def test_replay_needs_trace(self):
+        acc_factory, _ = make()
+        with pytest.raises(ConfigError):
+            F1Deployment("x", acc_factory, VidiConfig.r3())
+
+    def test_replay_faster_than_record(self):
+        """Replay delivers inputs as early as orderings allow."""
+        dep, _, rec_cycles = run_host(VidiConfig.r2(), seed=9)
+        trace = dep.recorded_trace()
+        _, rep_cycles = run_replay(trace)
+        assert rep_cycles <= rec_cycles
+
+
+class TestInterfaceSubsets:
+    def test_partial_monitoring_records_only_selected(self):
+        config = VidiConfig.r2(interfaces=("ocl",))
+        dep, result, _ = run_host(config, seed=3)
+        check(result)
+        trace = dep.recorded_trace()
+        assert len(trace.table) == 5  # one interface, five channels
+        assert all(info.name.endswith(ch)
+                   for info, ch in zip(trace.table.channels,
+                                       ("aw", "w", "b", "ar", "r")))
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(ConfigError):
+            VidiConfig.r2(interfaces=("sda", "nvme"))
+
+    def test_mode_enum_values(self):
+        assert VidiConfig.r1().mode is VidiMode.TRANSPARENT
+        assert VidiConfig.r2().mode is VidiMode.RECORD
+        assert VidiConfig.r3().mode is VidiMode.REPLAY
+
+
+class TestEnvironmentModes:
+    def test_vendor_sim_rejects_second_thread(self):
+        from repro.errors import SimulationError
+        acc_factory, host_factory = make()
+        dep = F1Deployment("s", acc_factory, VidiConfig.r1(),
+                           env_mode=EnvironmentMode.VENDOR_SIM, seed=0)
+        dep.cpu.add_thread(host_factory({}, seed=1))
+        with pytest.raises(SimulationError):
+            dep.cpu.add_thread(host_factory({}, seed=2))
+
+    def test_hardware_supports_threads(self):
+        acc_factory, host_factory = make()
+        dep = F1Deployment("h", acc_factory, VidiConfig.r1(),
+                           env_mode=EnvironmentMode.HARDWARE, seed=0)
+        r1, r2 = {}, {}
+        dep.cpu.add_thread(host_factory(r1, seed=1))
+        # A second, trivial thread that only waits.
+        from repro.platform import WaitCycles
+
+        def idler():
+            yield WaitCycles(10)
+
+        dep.cpu.add_thread(idler())
+        dep.run_to_completion(max_cycles=400_000)
+        check(r1)

@@ -1,0 +1,108 @@
+"""Tests for waveform capture, metrics helpers, and table rendering."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    cycles_to_seconds,
+    fmt_bytes,
+    fmt_factor,
+    mean,
+    overhead_pct,
+    reduction_factor,
+    stddev,
+)
+from repro.analysis.tables import render_bars, render_table
+from repro.channels import Channel, ChannelSink, ChannelSource, Field, PayloadSpec
+from repro.sim import Module, Simulator, WaveformRecorder, render_ascii
+
+WORD = PayloadSpec([Field("data", 8)])
+
+
+class TestWaveform:
+    def build(self):
+        sim = Simulator()
+        channel = Channel("ch", WORD)
+        source = ChannelSource("src", channel)
+        sink = ChannelSink("sink", channel)
+        for m in (channel, source, sink):
+            sim.add(m)
+        recorder = WaveformRecorder(sim, [channel.valid, channel.ready,
+                                          channel.payload])
+        return sim, channel, source, sink, recorder
+
+    def test_history_sampled_every_cycle(self):
+        sim, channel, source, sink, recorder = self.build()
+        sim.run(7)
+        assert len(recorder.values(channel.valid)) == 7
+
+    def test_handshake_visible_in_history(self):
+        sim, channel, source, sink, recorder = self.build()
+        source.send({"data": 0x5A})
+        sim.run(10)
+        valid = recorder.values(channel.valid)
+        ready = recorder.values(channel.ready)
+        fired = [v and r for v, r in zip(valid, ready)]
+        assert sum(fired) == 1
+
+    def test_render_ascii_shapes(self):
+        sim, channel, source, sink, recorder = self.build()
+        source.send({"data": 0x3C})
+        sim.run(8)
+        art = render_ascii(recorder)
+        lines = art.splitlines()
+        assert len(lines) == 4   # header + three signals
+        assert "ch.valid" in art and "ch.payload" in art
+        # one-bit rails use only rail characters
+        valid_line = next(l for l in lines if "valid" in l)
+        body = valid_line.split(maxsplit=1)[1]
+        assert set(body) <= {"_", "‾"}
+
+    def test_render_window(self):
+        sim, channel, source, sink, recorder = self.build()
+        sim.run(20)
+        art = render_ascii(recorder, start=5, end=10)
+        valid_line = next(l for l in art.splitlines() if "valid" in l)
+        assert len(valid_line.split(maxsplit=1)[1]) == 5
+
+
+class TestMetrics:
+    def test_mean_and_stddev(self):
+        assert mean([2, 4, 6]) == 4
+        assert stddev([2, 4, 6]) == pytest.approx(2.0)
+        assert stddev([5]) == 0.0
+
+    def test_overhead(self):
+        assert overhead_pct(100, 106) == pytest.approx(6.0)
+        assert overhead_pct(100, 95) == pytest.approx(-5.0)
+
+    def test_reduction(self):
+        assert reduction_factor(1000, 10) == 100
+        assert reduction_factor(1000, 0) == float("inf")
+
+    def test_cycles_to_seconds_at_250mhz(self):
+        assert cycles_to_seconds(250_000_000) == pytest.approx(1.0)
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.00 KB"
+        assert fmt_bytes(3 * 1024 ** 3) == "3.00 GB"
+
+    def test_fmt_factor(self):
+        assert fmt_factor(97.4) == "97x"
+        assert fmt_factor(10_149_896) == "10,149,896x"
+        assert fmt_factor(float("inf")) == "inf"
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["A", "Blong"], [[1, 2], ["xx", "y"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[2] and "Blong" in lines[2]
+        assert len({len(l) for l in lines[1:]}) <= 2   # consistent rules
+
+    def test_render_bars_scaling(self):
+        text = render_bars("B", ["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[2].count("#") == 10      # max value gets full width
+        assert lines[1].count("#") == 5
