@@ -1,0 +1,23 @@
+# Development entry points. `make check` is the pre-merge gate: the full
+# tier-1 test suite plus the kernel throughput bench (which enforces the
+# event-scheduler speedup floor and refreshes BENCH_kernel.json).
+
+PYTHON ?= python
+PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
+
+.PHONY: check test bench-kernel bench artifacts
+
+check: test bench-kernel
+
+test:            ## tier-1: the full unit/integration suite
+	$(PYTEST) -x -q
+
+bench-kernel:    ## kernel throughput + BENCH_kernel.json (speedup gate)
+	$(PYTEST) benchmarks/test_simulator_throughput.py -q -s
+
+bench:           ## every benchmark (regenerates benchmarks/results/)
+	$(PYTEST) benchmarks -q -s
+
+artifacts:       ## regenerate the paper artefacts via the harness CLI
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+	  $(PYTHON) -m repro.harness all

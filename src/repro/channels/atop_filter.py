@@ -30,6 +30,8 @@ class AtopFilter(Module):
     freezes.
     """
 
+    comb_static = True
+
     def __init__(self, name: str, ds_aw: Channel, ds_w: Channel, ds_b: Channel,
                  buggy: bool = True):
         super().__init__(name)
@@ -47,6 +49,9 @@ class AtopFilter(Module):
         self.outstanding_aw = 0      # AW ends not yet matched by a W-last end
         self.dangling_w = 0          # W-last ends not yet matched by an AW end
         self.forwarded_writes = 0
+        self.sensitive_to(self.us_aw.valid, self.us_aw.payload, ds_aw.ready,
+                          self.us_w.valid, self.us_w.payload, ds_w.ready,
+                          ds_b.valid, ds_b.payload, self.us_b.ready)
 
     # ------------------------------------------------------------------
     def comb(self) -> None:
@@ -83,6 +88,7 @@ class AtopFilter(Module):
             # first it reads uninitialised bookkeeping and stops making
             # progress — modelled as a wedge latch.
             self.wedged = True
+            self.wake()   # comb must drop every forwarded wire
             return
         if w_last:
             if self.outstanding_aw:

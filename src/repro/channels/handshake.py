@@ -41,7 +41,7 @@ class Channel(Module):
     @property
     def fired(self) -> bool:
         """True when a handshake completes this cycle (transaction end event)."""
-        return bool(self.valid.value and self.ready.value)
+        return bool(self.valid._value and self.ready._value)
 
     @property
     def width(self) -> int:
@@ -66,10 +66,13 @@ class PassThrough(Module):
     overhead is measured.
     """
 
+    comb_static = True
+
     def __init__(self, name: str, up: Channel, down: Channel):
         super().__init__(name)
         self.up = up
         self.down = down
+        self.sensitive_to(up.valid, up.payload, down.ready)
 
     def comb(self) -> None:
         self.down.valid.drive(self.up.valid.value)
@@ -99,20 +102,27 @@ class ChannelSource(Module):
     moves to the next queued item (back-to-back, no idle bubble).
     """
 
+    comb_static = True
+
     def __init__(self, name: str, channel: Channel):
         super().__init__(name)
         self.channel = channel
         self.queue: Deque[int] = deque()
         self._current: Optional[int] = None
         self.sent_count = 0
+        # comb() reads only Python state (queue/_current); every mutation
+        # site calls wake(), so no signal sensitivity is needed.
+        self.sensitive_to()
 
     def send(self, payload: Dict[str, int]) -> None:
         """Queue one transaction for transmission."""
         self.queue.append(self.channel.spec.pack(payload))
+        self.wake()
 
     def send_packed(self, word: int) -> None:
         """Queue one transaction given as an already-packed word."""
         self.queue.append(word)
+        self.wake()
 
     @property
     def idle(self) -> bool:
@@ -135,6 +145,7 @@ class ChannelSource(Module):
         if self._current is not None and self.channel.ready.value:
             self._current = None
             self.sent_count += 1
+            self.wake()   # comb must drop VALID (or present the next item)
 
     def reset_state(self) -> None:
         super().reset_state()
@@ -151,6 +162,8 @@ class ChannelSink(Module):
     with READY low for one cycle after reset.
     """
 
+    comb_static = True
+
     def __init__(self, name: str, channel: Channel,
                  policy: ReadyPolicy = always_ready):
         super().__init__(name)
@@ -159,6 +172,7 @@ class ChannelSink(Module):
         self.received: List[int] = []
         self._ready_now = 0
         self._cycle = 0
+        self.sensitive_to()   # comb reads only the registered _ready_now
 
     def comb(self) -> None:
         self.channel.ready.drive(self._ready_now)
@@ -167,7 +181,10 @@ class ChannelSink(Module):
         if self.channel.fired:
             self.received.append(self.channel.payload.value)
         self._cycle += 1
-        self._ready_now = 1 if self.policy(self._cycle, len(self.received)) else 0
+        ready = 1 if self.policy(self._cycle, len(self.received)) else 0
+        if ready != self._ready_now:
+            self._ready_now = ready
+            self.wake()
 
     def received_dicts(self) -> List[Dict[str, int]]:
         """All received payloads decomposed into field dicts."""

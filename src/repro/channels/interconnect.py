@@ -29,6 +29,8 @@ class AxiInterconnect(Module):
     same channel payload specs.
     """
 
+    comb_static = True
+
     def __init__(self, name: str, upstreams: Sequence[AxiInterface],
                  downstream: AxiInterface):
         super().__init__(name)
@@ -46,6 +48,16 @@ class AxiInterconnect(Module):
         self._ar_done = False
         self.write_grants = [0] * len(self.upstreams)
         self.read_grants = [0] * len(self.upstreams)
+        # comb() muxes every upstream/downstream wire it reads; grants and
+        # bookkeeping are registered, with wake() at each seq() mutation.
+        for up in self.upstreams:
+            self.sensitive_to(up.aw.valid, up.aw.payload, up.w.valid,
+                              up.w.payload, up.b.ready, up.ar.valid,
+                              up.ar.payload, up.r.ready)
+        self.sensitive_to(downstream.aw.ready, downstream.w.ready,
+                          downstream.b.valid, downstream.b.payload,
+                          downstream.ar.ready, downstream.r.valid,
+                          downstream.r.payload)
 
     # ------------------------------------------------------------------
     def comb(self) -> None:
@@ -119,36 +131,44 @@ class AxiInterconnect(Module):
         if self._write_owner is not None:
             if down.aw.fired:
                 self._write_w_done = True
+                self.wake()
             if down.w.fired and down.w.spec.extract(down.w.payload.value,
                                                     "last"):
                 self._w_last_seen = True
+                self.wake()
             if self._write_w_done and self._w_last_seen:
                 self._b_queue.append(self._write_owner)
                 self._write_owner = None
                 self._write_w_done = False
                 self._w_last_seen = False
+                self.wake()
         if down.b.fired and self._b_queue:
             self._b_queue.popleft()
+            self.wake()
         if self._write_owner is None:
             chosen = self._next_requester(self._write_rr, want_write=True)
             if chosen is not None:
                 self._write_owner = chosen
                 self._write_rr = (chosen + 1) % len(self.upstreams)
                 self.write_grants[chosen] += 1
+                self.wake()
         # Read-path bookkeeping.
         if self._read_owner is not None:
             if down.ar.fired:
                 self._ar_done = True
+                self.wake()
             if down.r.fired and down.r.spec.extract(down.r.payload.value,
                                                     "last"):
                 self._read_owner = None
                 self._ar_done = False
+                self.wake()
         if self._read_owner is None:
             chosen = self._next_requester(self._read_rr, want_write=False)
             if chosen is not None:
                 self._read_owner = chosen
                 self._read_rr = (chosen + 1) % len(self.upstreams)
                 self.read_grants[chosen] += 1
+                self.wake()
 
     def reset_state(self) -> None:
         super().reset_state()

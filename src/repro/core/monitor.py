@@ -33,7 +33,17 @@ from repro.sim.module import Module
 
 
 class ChannelMonitor(Module):
-    """Interposes on one channel and reports its transaction events."""
+    """Interposes on one channel and reports its transaction events.
+
+    Scheduling: ``comb()`` reads the three wire inputs (declared below) plus
+    ``self.enabled``, ``self._committed`` and ``encoder.grant()``. The latter
+    three only affect the output while a transaction is active (``up.valid`` high
+    or an end reservation held) — when the upstream is idle ``present`` is 0
+    regardless — so ``seq()`` wakes the monitor exactly while active, and the
+    ``enabled`` setter wakes on toggles.
+    """
+
+    comb_static = True
 
     def __init__(self, name: str, index: int, up: Channel, down: Channel,
                  encoder: TraceEncoder, direction: str,
@@ -55,10 +65,22 @@ class ChannelMonitor(Module):
         # FPGA invocations. While disabled the monitor is a pure wire.
         # Toggling takes effect between transactions: an in-flight
         # transaction is always logged to completion.
-        self.enabled = True
+        self._enabled = True
         self._committed = False   # start logged (input) / end slot reserved (output)
         self.transactions = 0
         self.stalled_cycles = 0   # cycles a sender waited on back-pressure
+        self.sensitive_to(up.valid, up.payload, down.ready)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._enabled:
+            self._enabled = value
+            self.wake()
 
     # ------------------------------------------------------------------
     def comb(self) -> None:
@@ -80,6 +102,9 @@ class ChannelMonitor(Module):
 
     def seq(self) -> None:
         up, down = self.up, self.down
+        if not up.valid._value and not down.valid._value \
+                and not self._committed:
+            return   # channel idle: no stall, no commit, no end, no wake
         presented = bool(down.valid.value)
         if up.valid.value and not presented:
             self.stalled_cycles += 1
@@ -103,6 +128,10 @@ class ChannelMonitor(Module):
                 self.encoder.record_end(self.index, content)
                 self._committed = False
             self.transactions += 1
+        if up.valid.value or self._committed:
+            # Active transaction: grant()/_committed may change the comb
+            # output next cycle, so stay on the work-list while engaged.
+            self.wake()
 
     def reset_state(self) -> None:
         super().reset_state()

@@ -41,7 +41,14 @@ class ReplayCoordinator:
 
 
 class ChannelReplayer(Module):
-    """Replays one channel's recorded transaction events."""
+    """Replays one channel's recorded transaction events.
+
+    Scheduling: ``comb()`` reads only Python state (pending contents /
+    ready credits), so the replayer declares an empty sensitivity set and
+    wakes itself from every ``seq()`` site that mutates that state.
+    """
+
+    comb_static = True
 
     def __init__(self, name: str, index: int, channel: Channel,
                  coordinator: ReplayCoordinator, direction: str,
@@ -64,6 +71,7 @@ class ChannelReplayer(Module):
         self.replayed_transactions = 0
         self.validation_contents: List[bytes] = []
         self._satisfied_version = -1  # cache key for the vector comparison
+        self.sensitive_to()
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +114,7 @@ class ChannelReplayer(Module):
                 self.validation_contents.append(channel.payload_bytes())
             self.replayed_transactions += 1
             self.coordinator.complete(self.index)
+            self.wake()   # _current/_ready_credits changed
         # 2. Consume as many trace elements as the vector clocks allow.
         feed = self.feed
         while self.position < len(feed):
@@ -122,8 +131,10 @@ class ChannelReplayer(Module):
                         )
                     self._pending_contents.append(
                         int.from_bytes(element.content, "little"))
+                    self.wake()
                 if element.end and self.direction == "out":
                     self._ready_credits += 1
+                    self.wake()
             self.t_expected.advance_by_mask(element.ends_mask)
             self._satisfied_version = -1  # expected changed; re-evaluate
             self.position += 1

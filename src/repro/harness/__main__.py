@@ -28,15 +28,15 @@ from typing import List, Optional, Sequence
 from repro.harness import experiments as exp
 
 
-def _artifact(name: str, runs: int) -> str:
+def _artifact(name: str, runs: int, jobs: Optional[int] = None) -> str:
     if name == "table1":
-        return exp.render_table1(exp.run_table1(runs=runs))
+        return exp.render_table1(exp.run_table1(runs=runs, jobs=jobs))
     if name == "table2":
         return exp.render_table2(exp.run_table2())
     if name == "fig7":
         return exp.render_fig7(exp.run_fig7())
     if name == "divergence":
-        return exp.render_divergence(exp.run_divergence(runs=runs))
+        return exp.render_divergence(exp.run_divergence(runs=runs, jobs=jobs))
     if name == "panopticon":
         return exp.render_panopticon(*exp.run_panopticon())
     if name == "case-debugging":
@@ -59,13 +59,33 @@ def _cmd_record(args) -> int:
 
     spec = get_app(args.app)
     metrics = record_run(spec, bench_config(VidiConfig.r2), seed=args.seed,
-                         scale=args.scale)
+                         scale=args.scale, profile=args.profile)
     trace = metrics.result["trace"]
     trace.save(args.output, compress=args.compress)
     print(f"recorded {spec.label}: {metrics.cycles} cycles, "
           f"{metrics.monitored_transactions} transactions, "
           f"{trace.size_bytes} trace bytes -> {args.output}")
+    if args.profile:
+        print()
+        print(_render_kernel_profile(metrics.result["kernel_profile"]))
     return 0
+
+
+def _render_kernel_profile(rows: List[dict], top: int = 20) -> str:
+    """Per-module comb/seq time shares as a harness-style table."""
+    from repro.analysis.tables import render_table
+
+    body = [[
+        r["module"],
+        f"{r['comb_s'] * 1e3:.2f}", r["comb_calls"],
+        f"{r['seq_s'] * 1e3:.2f}", r["seq_calls"],
+        f"{r['share_pct']:.1f}",
+    ] for r in rows[:top]]
+    return render_table(
+        f"Kernel profile: hottest {min(top, len(rows))} modules "
+        "(comb/seq wall-clock)",
+        ["Module", "comb ms", "evals", "seq ms", "calls", "share %"],
+        body)
 
 
 def _cmd_replay(args) -> int:
@@ -92,6 +112,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_art.add_argument("artifact", choices=ALL + ("all", "fast"))
     p_art.add_argument("--runs", type=int, default=3,
                        help="samples per configuration (paper: 10)")
+    p_art.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="shard sweep cells across N worker processes "
+                            "(table1/divergence; deterministic)")
     p_art.add_argument("-o", "--output",
                        help="also write the artefact(s) to this file")
     p_rec = sub.add_parser("record", help="record one application run")
@@ -100,6 +123,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_rec.add_argument("--seed", type=int, default=0)
     p_rec.add_argument("--scale", type=float, default=None)
     p_rec.add_argument("--compress", action="store_true")
+    p_rec.add_argument("--profile", action="store_true",
+                       help="report per-module comb/seq kernel time shares")
     p_rec.set_defaults(func=_cmd_record)
     p_rep = sub.add_parser("replay", help="replay and validate a trace")
     p_rep.add_argument("app")
@@ -127,7 +152,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = [args.artifact]
     pieces = []
     for name in names:
-        text = _artifact(name, args.runs)
+        text = _artifact(name, args.runs, jobs=args.jobs)
         print(text)
         print()
         pieces.append(text)

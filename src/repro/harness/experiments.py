@@ -19,18 +19,19 @@ from repro.analysis.metrics import (
     reduction_factor,
 )
 from repro.analysis.tables import render_bars, render_table
-from repro.apps import dram_dma
 from repro.apps.registry import APPS, AppSpec, get_app
 from repro.baselines.cycle_accurate import (
     input_signal_bits,
     panopticon_envelope,
 )
-from repro.core import VidiConfig, compare_traces
+from repro.core import VidiConfig
 from repro.harness.runner import (
+    OverheadStats,
+    SweepCell,
     bench_config,
-    overhead_experiment,
-    record_run,
-    replay_run,
+    run_cells,
+    run_divergence_cell,
+    run_record_cell,
 )
 from repro.platform.interfaces import make_f1_interfaces
 from repro.resources.model import (
@@ -72,23 +73,44 @@ class Table1Row:
 
 
 def run_table1(runs: int = 5, apps: Optional[Sequence[str]] = None,
-               base_seed: int = 100) -> List[Table1Row]:
-    """Measure every application under R1/R2 (the paper's Table 1)."""
+               base_seed: int = 100, jobs: Optional[int] = None
+               ) -> List[Table1Row]:
+    """Measure every application under R1/R2 (the paper's Table 1).
+
+    The app × config × seed cells are independent runs with per-cell
+    seeds (R1 at ``base_seed + i``, R2 at ``base_seed + 500 + i``,
+    matching :func:`~repro.harness.runner.overhead_experiment`), so
+    ``jobs > 1`` shards them across worker processes without changing a
+    single number.
+    """
+    keys = list(apps or APPS.keys())
+    cells: List[SweepCell] = []
+    for key in keys:
+        cells.extend(SweepCell(key, "r1", base_seed + i) for i in range(runs))
+        cells.extend(SweepCell(key, "r2", base_seed + 500 + i)
+                     for i in range(runs))
+        # The trace-size sample, same seed the sequential driver used.
+        cells.append(SweepCell(key, "r2", base_seed))
+    results = run_cells(cells, run_record_cell, jobs=jobs)
     rows: List[Table1Row] = []
-    for key in (apps or APPS.keys()):
-        spec = get_app(key)
-        stats = overhead_experiment(spec, runs=runs, base_seed=base_seed)
+    per_app = 2 * runs + 1
+    for n, key in enumerate(keys):
+        chunk = results[n * per_app:(n + 1) * per_app]
+        stats = OverheadStats(
+            app=key,
+            r1_cycles=[c["cycles"] for c in chunk[:runs]],
+            r2_cycles=[c["cycles"] for c in chunk[runs:2 * runs]],
+        )
         native = mean(stats.r1_cycles)
-        trace = record_run(spec, bench_config(VidiConfig.r2),
-                           seed=base_seed).result["trace"]
+        trace_bytes = chunk[2 * runs]["trace_bytes"]
         cycle_accurate = int(native) * CYCLE_ACCURATE_BYTES_PER_CYCLE
         rows.append(Table1Row(
-            app=spec,
+            app=get_app(key),
             native_cycles=native,
             overhead_pct=stats.mean_overhead_pct,
             overhead_std=stats.std_overhead_pct,
-            trace_bytes=trace.size_bytes,
-            reduction=reduction_factor(cycle_accurate, trace.size_bytes),
+            trace_bytes=trace_bytes,
+            reduction=reduction_factor(cycle_accurate, trace_bytes),
         ))
     return rows
 
@@ -221,36 +243,33 @@ class DivergenceRow:
 
 
 def run_divergence(runs: int = 3, apps: Optional[Sequence[str]] = None,
-                   base_seed: int = 300) -> List[DivergenceRow]:
+                   base_seed: int = 300, jobs: Optional[int] = None
+                   ) -> List[DivergenceRow]:
     """Record (R2) then replay (R3) every app; compare traces (§5.4).
 
     Includes the interrupt-patched DRAM DMA as an extra row demonstrating
-    the §3.6 fix.
+    the §3.6 fix. Each (app, seed) cell is an independent record+replay
+    pair, so ``jobs > 1`` shards them across worker processes.
     """
-    rows: List[DivergenceRow] = []
-    targets: List[Tuple[str, AppSpec]] = [
-        (spec.label, spec) for key, spec in APPS.items()
+    targets: List[Tuple[str, str, bool]] = [
+        (spec.label, key, False) for key, spec in APPS.items()
         if apps is None or key in apps
     ]
-    from dataclasses import replace
-    patched = replace(get_app("dram_dma"), label="DMA(patched)",
-                      make=lambda: dram_dma.make(polling=False))
-    targets.append((patched.label, patched))
-    for label, spec in targets:
-        total = content = count = ordering = 0
-        for i in range(runs):
-            metrics = record_run(spec, bench_config(VidiConfig.r2),
-                                 seed=base_seed + i)
-            trace = metrics.result["trace"]
-            replay = replay_run(spec, trace)
-            report = compare_traces(trace, replay.result["validation"])
-            total += report.output_transactions
-            content += len(report.of_kind("content"))
-            count += len(report.of_kind("count"))
-            ordering += len(report.of_kind("ordering"))
-        rows.append(DivergenceRow(label=label, output_transactions=total,
-                                  content=content, count=count,
-                                  ordering=ordering))
+    targets.append(("DMA(patched)", "dram_dma", True))
+    cells = [SweepCell(key, "r2", base_seed + i, patched_dma=patched)
+             for _label, key, patched in targets
+             for i in range(runs)]
+    results = run_cells(cells, run_divergence_cell, jobs=jobs)
+    rows: List[DivergenceRow] = []
+    for n, (label, _key, _patched) in enumerate(targets):
+        chunk = results[n * runs:(n + 1) * runs]
+        rows.append(DivergenceRow(
+            label=label,
+            output_transactions=sum(c["output_transactions"] for c in chunk),
+            content=sum(c["content"] for c in chunk),
+            count=sum(c["count"] for c in chunk),
+            ordering=sum(c["ordering"] for c in chunk),
+        ))
     return rows
 
 

@@ -58,10 +58,13 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
                scale: Optional[float] = None,
                env_mode: EnvironmentMode = EnvironmentMode.HARDWARE,
                max_cycles: int = 4_000_000,
-               check: bool = True) -> RunMetrics:
+               check: bool = True,
+               profile: bool = False) -> RunMetrics:
     """Run one application under R1 or R2 and collect metrics.
 
     Under R2 the recorded trace is attached as ``metrics.result['trace']``.
+    With ``profile=True`` the simulation kernel collects per-module
+    comb/seq wall-clock shares, attached as ``result['kernel_profile']``.
     """
     if config.mode is VidiMode.REPLAY:
         raise ConfigError("use replay_run() for replay configurations")
@@ -80,11 +83,15 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
         deployment.stream_driver.load_packets(
             spec.stream_workload(seed, use_scale))
     deployment.cpu.add_thread(host_factory(result, seed=seed, scale=use_scale))
+    if profile:
+        deployment.sim.enable_profiling()
     cycles = deployment.run_to_completion(max_cycles=max_cycles)
     if check:
         spec.check(result)
     metrics = RunMetrics(app=spec.key, mode=config.mode.value, seed=seed,
                          cycles=cycles, result=result)
+    if profile:
+        metrics.result["kernel_profile"] = deployment.sim.profile_report()
     if config.mode is VidiMode.RECORD:
         trace = deployment.recorded_trace({"app": spec.key, "seed": seed})
         metrics.trace_bytes = trace.size_bytes
@@ -168,3 +175,100 @@ def overhead_experiment(spec: AppSpec, runs: int = 5, base_seed: int = 100,
         r2_cycles.append(r2.cycles)
     return OverheadStats(app=spec.key, r1_cycles=r1_cycles,
                          r2_cycles=r2_cycles)
+
+
+# ----------------------------------------------------------------------
+# process-parallel sweeps
+# ----------------------------------------------------------------------
+#
+# Table-1-style experiments are embarrassingly parallel across their
+# app × config × seed cells. A cell is a small picklable description; the
+# worker functions below reconstruct the full AppSpec/VidiConfig inside
+# the worker process and return plain dicts (traces and deployments do
+# not cross process boundaries). Every cell carries its own seed, so a
+# parallel sweep is bit-identical to the sequential one regardless of
+# completion order: ``run_cells`` returns results in cell order.
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (app, config, seed) cell of an experiment sweep."""
+
+    app: str
+    config: str                    # "r1" or "r2"
+    seed: int
+    scale: Optional[float] = None
+    patched_dma: bool = False      # the §3.6 interrupt-patched DRAM DMA
+
+
+def _cell_spec(cell: SweepCell) -> AppSpec:
+    from repro.apps import dram_dma
+    from repro.apps.registry import get_app
+
+    spec = get_app(cell.app)
+    if cell.patched_dma:
+        from dataclasses import replace as _replace
+
+        spec = _replace(spec, label="DMA(patched)",
+                        make=lambda: dram_dma.make(polling=False))
+    return spec
+
+
+def _cell_config(cell: SweepCell) -> VidiConfig:
+    factory = {"r1": VidiConfig.r1, "r2": VidiConfig.r2}[cell.config]
+    return bench_config(factory)
+
+
+def run_record_cell(cell: SweepCell) -> dict:
+    """Worker: one record run; returns a picklable metrics dict."""
+    metrics = record_run(_cell_spec(cell), _cell_config(cell),
+                         seed=cell.seed, scale=cell.scale)
+    return {
+        "app": cell.app,
+        "config": cell.config,
+        "seed": cell.seed,
+        "cycles": metrics.cycles,
+        "trace_bytes": metrics.trace_bytes,
+        "stored_bytes": metrics.stored_bytes,
+        "store_stall_cycles": metrics.store_stall_cycles,
+        "monitored_transactions": metrics.monitored_transactions,
+    }
+
+
+def run_divergence_cell(cell: SweepCell) -> dict:
+    """Worker: record (R2), replay (R3), compare; returns divergence counts."""
+    from repro.core import compare_traces
+
+    spec = _cell_spec(cell)
+    metrics = record_run(spec, _cell_config(cell), seed=cell.seed,
+                         scale=cell.scale)
+    trace = metrics.result["trace"]
+    replay = replay_run(spec, trace)
+    report = compare_traces(trace, replay.result["validation"])
+    return {
+        "app": cell.app,
+        "seed": cell.seed,
+        "patched_dma": cell.patched_dma,
+        "output_transactions": report.output_transactions,
+        "content": len(report.of_kind("content")),
+        "count": len(report.of_kind("count")),
+        "ordering": len(report.of_kind("ordering")),
+    }
+
+
+def run_cells(cells: List[SweepCell], worker: Callable[[SweepCell], dict],
+              jobs: Optional[int] = None) -> List[dict]:
+    """Execute sweep cells, optionally sharded across worker processes.
+
+    ``jobs`` of ``None``/``0``/``1`` runs inline; larger values use a
+    ``ProcessPoolExecutor``. Results always come back in cell order, and
+    each cell is fully self-seeded, so the parallel sweep's numbers are
+    identical to the sequential ones.
+    """
+    cells = list(cells)
+    if not jobs or jobs <= 1 or len(cells) <= 1:
+        return [worker(cell) for cell in cells]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        return list(pool.map(worker, cells, chunksize=1))

@@ -44,7 +44,16 @@ class ReadDescriptor:
 
 
 class AxiManager(Module):
-    """Burst-issuing DMA engine on an FPGA-managed AXI interface."""
+    """Burst-issuing DMA engine on an FPGA-managed AXI interface.
+
+    Scheduling: ``comb()`` reads only the in-flight descriptor state, which
+    changes exclusively in ``seq()`` (descriptor promotion and handshake
+    progress) — each such branch wakes the module. Queue appends from the
+    accelerator API need no wake of their own: promotion happens in the
+    same cycle's ``seq()``.
+    """
+
+    comb_static = True
 
     def __init__(self, name: str, interface: AxiInterface):
         super().__init__(name)
@@ -63,6 +72,7 @@ class AxiManager(Module):
         self._r_requested = 0
         self.writes_completed = 0
         self.reads_completed = 0
+        self.sensitive_to()
 
     # ------------------------------------------------------------------
     # accelerator-facing API
@@ -183,22 +193,27 @@ class AxiManager(Module):
             self._w_sent = 0
             self._aw_sent_bursts = 0
             self._w_bursts_pending = len(self._burst_plan(self._w_desc))
+            self.wake()
         if self._r_desc is None and self._read_queue:
             self._r_desc = self._read_queue.popleft()
             self._ar_issued = False
             self._r_requested = 0
+            self.wake()
         # Write progress.
         if self._w_desc is not None:
             if iface.aw.fired:
                 self._aw_sent_bursts += 1
+                self.wake()
             if iface.w.fired:
                 self._w_sent += 1
+                self.wake()
             if iface.b.fired:
                 self._w_bursts_pending -= 1
                 if self._w_bursts_pending == 0:
                     done = self._w_desc
                     self._w_desc = None
                     self.writes_completed += 1
+                    self.wake()
                     if done.on_complete is not None:
                         done.on_complete()
         # Read progress.
@@ -207,6 +222,7 @@ class AxiManager(Module):
                 remaining = self._r_desc.n_words - self._r_requested
                 self._r_requested += min(remaining, MAX_BURST_BEATS)
                 self._ar_issued = True
+                self.wake()
             if iface.r.fired:
                 r = iface.r.payload_dict()
                 self._r_desc._data.append(r["data"])
@@ -219,6 +235,7 @@ class AxiManager(Module):
                             desc.on_complete(desc._data)
                     else:
                         self._ar_issued = False  # issue the next burst's AR
+                    self.wake()
 
     def reset_state(self) -> None:
         super().reset_state()

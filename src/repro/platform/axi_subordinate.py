@@ -28,7 +28,14 @@ RegWriter = Callable[[int, int], None]
 
 
 class AxiLiteSubordinate(Module):
-    """Serves one AXI-Lite interface from register read/write hooks."""
+    """Serves one AXI-Lite interface from register read/write hooks.
+
+    Scheduling: ``comb()`` reads only the latched request/response state,
+    all of which is mutated in ``seq()`` — every mutating branch wakes the
+    module, so it is quiescent whenever no MMIO transaction is in flight.
+    """
+
+    comb_static = True
 
     def __init__(self, name: str, interface: AxiInterface,
                  reg_read: RegReader, reg_write: RegWriter,
@@ -47,6 +54,7 @@ class AxiLiteSubordinate(Module):
         self._r_pending: Optional[int] = None   # read data to return
         self.writes_served = 0
         self.reads_served = 0
+        self.sensitive_to()
 
     # ------------------------------------------------------------------
     def comb(self) -> None:
@@ -73,9 +81,11 @@ class AxiLiteSubordinate(Module):
         # Write path: accept AW and W independently, commit when both held.
         if iface.aw.fired:
             self._aw = iface.aw.spec.extract(iface.aw.payload.value, "addr")
+            self.wake()
         if iface.w.fired:
             w = iface.w.payload_dict()
             self._w = (w["data"], w["strb"])
+            self.wake()
         if self._aw is not None and self._w is not None and not self._b_pending:
             data, strb = self._w
             if strb == 0xF:
@@ -92,25 +102,32 @@ class AxiLiteSubordinate(Module):
             self._b_wait = self.response_latency
             self._aw = None
             self._w = None
+            self.wake()
         if self._b_pending:
             if self._b_wait > 0:
                 self._b_wait -= 1
+                self.wake()
             elif iface.b.fired:
                 self._b_pending = False
                 self.writes_served += 1
+                self.wake()
         # Read path.
         if iface.ar.fired:
             self._ar = iface.ar.spec.extract(iface.ar.payload.value, "addr")
+            self.wake()
         if self._ar is not None and self._r_pending is None:
             self._r_pending = self.reg_read(self._ar) & 0xFFFF_FFFF
             self._r_wait = self.response_latency
             self._ar = None
+            self.wake()
         if self._r_pending is not None:
             if self._r_wait > 0:
                 self._r_wait -= 1
+                self.wake()
             elif iface.r.fired:
                 self._r_pending = None
                 self.reads_served += 1
+                self.wake()
 
     def reset_state(self) -> None:
         super().reset_state()
@@ -130,7 +147,15 @@ BeatObserver = Callable[[int, int, int], None]
 
 
 class AxiSubordinate(Module):
-    """Serves a 512-bit burst DMA interface from on-FPGA memory (pcis side)."""
+    """Serves a 512-bit burst DMA interface from on-FPGA memory (pcis side).
+
+    Scheduling: ``comb()`` reads the burst queues plus ``memory`` contents
+    (R data); ``seq()`` wakes on every queue mutation and the module
+    subscribes to memory writes so out-of-band writers (accelerators, host
+    threads) re-schedule the R path too.
+    """
+
+    comb_static = True
 
     WORD_BYTES = 64
 
@@ -151,6 +176,8 @@ class AxiSubordinate(Module):
         self._r_wait = 0
         self.write_beats = 0
         self.read_beats = 0
+        self.sensitive_to()
+        memory.on_write(self.wake)
 
     # ------------------------------------------------------------------
     def comb(self) -> None:
@@ -183,10 +210,12 @@ class AxiSubordinate(Module):
         if iface.aw.fired:
             aw = iface.aw.payload_dict()
             self._pending_aw.append((aw["addr"], aw["len"] + 1, aw["id"]))
+            self.wake()
         if iface.w.fired:
             w = iface.w.payload_dict()
             self._pending_w.append((w["data"], w["strb"], w["last"]))
             self.write_beats += 1
+            self.wake()
         # Commit beats once their burst's AW is known.
         while self._pending_aw and self._pending_w:
             addr, remaining, burst_id = self._pending_aw[0]
@@ -200,16 +229,20 @@ class AxiSubordinate(Module):
                 self._b_queue.append(burst_id)
             else:
                 self._pending_aw[0] = (addr + self.WORD_BYTES, remaining, burst_id)
+            self.wake()   # queue depths / B response changed
         if iface.b.fired:
             self._b_queue.popleft()
+            self.wake()
         # Read bursts.
         if iface.ar.fired:
             ar = iface.ar.payload_dict()
             self._read_burst = (ar["addr"], ar["len"] + 1, ar["id"])
             self._r_wait = self.read_latency
+            self.wake()
         if self._read_burst is not None:
             if self._r_wait > 0:
                 self._r_wait -= 1
+                self.wake()
             elif iface.r.fired:
                 addr, remaining, burst_id = self._read_burst
                 self.read_beats += 1
@@ -218,6 +251,7 @@ class AxiSubordinate(Module):
                 else:
                     self._read_burst = (addr + self.WORD_BYTES, remaining - 1,
                                         burst_id)
+                self.wake()
 
     def reset_state(self) -> None:
         super().reset_state()

@@ -19,7 +19,15 @@ from repro.sim.module import Module
 
 
 class HostMemoryController(Module):
-    """Subordinate on the environment side of an FPGA-managed interface."""
+    """Subordinate on the environment side of an FPGA-managed interface.
+
+    Scheduling: ``comb()`` reads the burst/latency state mutated in
+    ``seq()`` (which wakes on every actual change — the PCIe-less pacing
+    branch re-asserts defaults every cycle and must *not* wake) plus host
+    memory contents, covered by a memory write subscription.
+    """
+
+    comb_static = True
 
     WORD_BYTES = 64
 
@@ -42,6 +50,8 @@ class HostMemoryController(Module):
         self._r_wait = 0
         self.write_beats = 0
         self.read_beats = 0
+        self.sensitive_to()
+        memory.on_write(self.wake)
 
     def _latency(self) -> int:
         if self.jitter <= 0:
@@ -80,23 +90,36 @@ class HostMemoryController(Module):
         # PCIe pacing: a write beat needs link credit before READY rises;
         # a read beat is "paid for" once, then presented until it fires.
         if self.pcie is None:
-            self._w_allow = 1
-            self._r_paid = True
+            if not self._w_allow:
+                self._w_allow = 1
+                self.wake()
+            if not self._r_paid:
+                self._r_paid = True
+                self.wake()
         else:
             if iface.w.valid.value and not iface.w.ready.value:
-                self._w_allow = 1 if self.pcie.request_app() else 0
+                allow = 1 if self.pcie.request_app() else 0
+                if allow != self._w_allow:
+                    self._w_allow = allow
+                    self.wake()
             elif iface.w.fired:
-                self._w_allow = 0
+                if self._w_allow:
+                    self._w_allow = 0
+                    self.wake()
             if (self._read_burst is not None and self._r_wait <= 1
                     and not self._r_paid):
                 self._r_paid = self.pcie.request_app()
+                if self._r_paid:
+                    self.wake()
         if iface.aw.fired:
             aw = iface.aw.payload_dict()
             self._pending_aw.append((aw["addr"], aw["len"] + 1, aw["id"]))
+            self.wake()
         if iface.w.fired:
             w = iface.w.payload_dict()
             self._pending_w.append((w["data"], w["strb"], w["last"]))
             self.write_beats += 1
+            self.wake()
         while self._pending_aw and self._pending_w:
             addr, remaining, burst_id = self._pending_aw[0]
             data, strb, last = self._pending_w.popleft()
@@ -107,19 +130,24 @@ class HostMemoryController(Module):
                 self._b_queue.append((burst_id, self._latency()))
             else:
                 self._pending_aw[0] = (addr + self.WORD_BYTES, remaining, burst_id)
+            self.wake()
         if self._b_queue:
             burst_id, delay = self._b_queue[0]
             if delay > 0:
                 self._b_queue[0] = (burst_id, delay - 1)
+                self.wake()
             elif iface.b.fired:
                 self._b_queue.popleft()
+                self.wake()
         if iface.ar.fired:
             ar = iface.ar.payload_dict()
             self._read_burst = (ar["addr"], ar["len"] + 1, ar["id"])
             self._r_wait = self._latency()
+            self.wake()
         if self._read_burst is not None:
             if self._r_wait > 0:
                 self._r_wait -= 1
+                self.wake()
             elif iface.r.fired:
                 addr, remaining, burst_id = self._read_burst
                 self.read_beats += 1
@@ -130,6 +158,7 @@ class HostMemoryController(Module):
                 else:
                     self._read_burst = (addr + self.WORD_BYTES, remaining - 1,
                                         burst_id)
+                self.wake()
 
     def reset_state(self) -> None:
         super().reset_state()

@@ -45,11 +45,12 @@ class F1Deployment:
                  replay_trace: Optional[TraceFile] = None,
                  host_latency: int = 6, host_jitter: int = 4,
                  think_jitter: int = 3, with_ddr4: bool = False,
-                 with_axis: bool = False):
+                 with_axis: bool = False,
+                 scheduler: Optional[str] = None):
         self.name = name
         self.config = config
         self.env_mode = env_mode
-        self.sim = Simulator(name)
+        self.sim = Simulator(name, scheduler=scheduler)
         with_ddr4 = with_ddr4 or "ddr4" in config.interfaces
         with_axis = with_axis or "axis_in" in config.interfaces \
             or "axis_out" in config.interfaces

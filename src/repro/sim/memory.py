@@ -35,6 +35,14 @@ class WordMemory:
         self.word_bytes = word_bytes
         self._words: Dict[int, int] = {}
         self._full_strobe = (1 << word_bytes) - 1
+        # Modules whose comb() reads this memory (AXI read-data paths)
+        # register a callback so writes from *any* party — DMA engines,
+        # host threads, accelerators — re-schedule them.
+        self._write_listeners: list = []
+
+    def on_write(self, callback) -> None:
+        """Register a callback invoked after every mutation of the storage."""
+        self._write_listeners.append(callback)
 
     # ------------------------------------------------------------------
     def _check(self, addr: int) -> int:
@@ -65,13 +73,15 @@ class WordMemory:
         strobe &= self._full_strobe
         if strobe == self._full_strobe:
             self._words[index] = data & ((1 << (8 * self.word_bytes)) - 1)
-            return
-        byte_mask = 0
-        for i in range(self.word_bytes):
-            if (strobe >> i) & 1:
-                byte_mask |= 0xFF << (8 * i)
-        old = self._words.get(index, 0)
-        self._words[index] = (old & ~byte_mask) | (data & byte_mask)
+        else:
+            byte_mask = 0
+            for i in range(self.word_bytes):
+                if (strobe >> i) & 1:
+                    byte_mask |= 0xFF << (8 * i)
+            old = self._words.get(index, 0)
+            self._words[index] = (old & ~byte_mask) | (data & byte_mask)
+        for callback in self._write_listeners:
+            callback()
 
     # ------------------------------------------------------------------
     # byte-level convenience used by host programs and golden models
@@ -96,6 +106,8 @@ class WordMemory:
     def clear(self) -> None:
         """Zero the whole memory (power-on state)."""
         self._words.clear()
+        for callback in self._write_listeners:
+            callback()
 
 
 class RegisterFile:

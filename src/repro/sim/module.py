@@ -15,11 +15,37 @@ A module groups signals and behaviour. Subclasses override:
 Set ``has_comb = False`` on subclasses with no combinational process; the
 simulator then skips them during delta iteration, which is a significant
 speedup for large designs.
+
+Scheduling declarations (event-driven kernel)
+---------------------------------------------
+
+By default a module's ``comb()`` is assumed to depend on *anything* — the
+simulator's safe fallback re-runs it on every delta pass of every cycle,
+exactly like the original fixpoint kernel. Modules opt in to event-driven
+scheduling by declaring what their combinational process reads:
+
+* ``self.sensitive_to(sig, ...)`` — register the input signals ``comb()``
+  reads. Whenever one of them changes value (combinational drive or register
+  commit), the module is enqueued for re-evaluation.
+* ``self.wake()`` — request a ``comb()`` re-evaluation explicitly. Required
+  whenever *non-signal* state that ``comb()`` reads changes (Python-level
+  registers mutated in ``seq()``, items pushed into a queue the comb process
+  presents, ...). ``wake()`` is idempotent and cheap; calling it
+  conservatively is always sound.
+* ``comb_static = True`` (class attribute) — assert that the two mechanisms
+  above cover *every* input of ``comb()``. Static modules are evaluated only
+  when woken; without the flag a declared module is still re-evaluated once
+  at the start of every cycle (the *dynamic* safety net for modules whose
+  comb reads cycle-start Python state that is hard to track precisely).
+
+A module that declares sensitivity but reads an undeclared signal in
+``comb()`` will compute stale outputs — the differential harness in
+``tests/test_scheduler_equivalence.py`` exists to catch exactly that.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.sim.signal import Signal
 
@@ -28,11 +54,24 @@ class Module:
     """Base class for simulated hardware modules."""
 
     has_comb: bool = True
+    # True asserts that sensitive_to()/wake() cover every comb() input, so
+    # the scheduler may skip the module entirely on cycles where nothing it
+    # watches changed (the quiescent fast path). Leave False for declared
+    # modules that read cycle-start Python state the module cannot track.
+    comb_static: bool = False
 
     def __init__(self, name: str):
         self.name = name
         self._signals: List[Signal] = []
         self._children: List["Module"] = []
+        self._sensitivity: Optional[List[Signal]] = None
+        self._sim = None
+        # True while the module sits on the simulator's comb work-list.
+        # The event scheduler clears it as it evaluates; the fixpoint
+        # scheduler (and undeclared/always modules) pin it True so that
+        # wake() and signal fanout stay no-ops for them.
+        self._comb_scheduled = False
+        self._order = 0   # elaboration index; stabilizes evaluation order
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -54,10 +93,39 @@ class Module:
         return module
 
     # ------------------------------------------------------------------
+    # scheduling declarations
+    # ------------------------------------------------------------------
+    def sensitive_to(self, *signals: Signal) -> None:
+        """Declare the signals this module's ``comb()`` reads.
+
+        May be called several times (each call appends). Declaring an empty
+        sensitivity set is meaningful: it opts the module into event-driven
+        scheduling with ``wake()`` as its only trigger.
+        """
+        if self._sensitivity is None:
+            self._sensitivity = []
+        self._sensitivity.extend(signals)
+
+    def wake(self) -> None:
+        """Schedule a ``comb()`` re-evaluation (idempotent).
+
+        Call whenever non-signal state read by ``comb()`` may have changed.
+        A no-op before elaboration (every comb module is evaluated on the
+        first cycle anyway) and for modules the scheduler already re-runs
+        unconditionally.
+        """
+        if not self._comb_scheduled:
+            sim = self._sim
+            if sim is not None:
+                self._comb_scheduled = True
+                sim._pending.append(self)
+
+    # ------------------------------------------------------------------
     # elaboration
     # ------------------------------------------------------------------
     def bind(self, sim) -> None:
         """Bind all owned signals to the simulator (called at elaboration)."""
+        self._sim = sim
         for sig in self._signals:
             sig.bind(sim)
 

@@ -13,6 +13,13 @@ Two update disciplines exist, mirroring synthesizable RTL:
 
 Signals must be bound to a :class:`~repro.sim.simulator.Simulator` (normally
 via :class:`~repro.sim.module.Module`) before the first ``step``.
+
+Scheduling: every signal carries a *fanout* list — the modules that declared
+combinational sensitivity to it via
+:meth:`~repro.sim.module.Module.sensitive_to`. Under the event-driven
+scheduler a value change enqueues exactly those modules onto the
+simulator's work-list; under the legacy fixpoint scheduler the fanout lists
+stay empty and only the global dirty flag is raised.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from repro.errors import SimulationError
 class Signal:
     """A fixed-width hardware signal with combinational and registered updates."""
 
-    __slots__ = ("name", "width", "reset", "_mask", "_value", "_next", "_sim")
+    __slots__ = ("name", "width", "reset", "_mask", "_value", "_next", "_sim",
+                 "_fanout")
 
     def __init__(self, name: str, width: int = 1, reset: int = 0):
         if width < 1:
@@ -37,6 +45,10 @@ class Signal:
         self._value = self.reset
         self._next: Optional[int] = None
         self._sim = None
+        # Modules combinationally sensitive to this signal. Populated at
+        # elaboration by the event-driven scheduler; empty under the legacy
+        # fixpoint scheduler, which keeps drive() on its original fast path.
+        self._fanout: list = []
 
     # ------------------------------------------------------------------
     # binding and reset
@@ -73,8 +85,9 @@ class Signal:
     def drive(self, value: int) -> None:
         """Combinational drive: the value becomes visible immediately.
 
-        Marks the simulator dirty when the value changes so the delta loop
-        knows another settling pass is required.
+        On a value change the simulator is marked dirty (legacy scheduler)
+        and every module in this signal's fanout is enqueued for
+        re-evaluation (event-driven scheduler).
         """
         value &= self._mask
         if value != self._value:
@@ -82,6 +95,10 @@ class Signal:
             sim = self._sim
             if sim is not None:
                 sim._dirty = True
+                for module in self._fanout:
+                    if not module._comb_scheduled:
+                        module._comb_scheduled = True
+                        sim._pending.append(module)
 
     def set_next(self, value: int) -> None:
         """Registered drive: the value is committed at the end of the cycle."""
@@ -97,9 +114,17 @@ class Signal:
         self._next = value
 
     def _commit(self) -> None:
-        if self._next is not None:
-            self._value = self._next
-            self._next = None
+        nxt = self._next
+        if nxt is None:
+            return
+        self._next = None
+        if nxt != self._value:
+            self._value = nxt
+            sim = self._sim
+            for module in self._fanout:
+                if not module._comb_scheduled:
+                    module._comb_scheduled = True
+                    sim._pending.append(module)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -2,13 +2,33 @@
 
 Each call to :meth:`Simulator.step` simulates one clock cycle:
 
-1. **Combinational settling.** Every module's ``comb()`` runs; if any signal
-   changed value, another pass runs, up to ``max_delta`` passes. Failure to
-   settle raises :class:`~repro.errors.CombinationalLoopError`.
+1. **Combinational settling.** Modules' ``comb()`` processes run until all
+   signal values settle, up to ``max_delta`` passes. Failure to settle
+   raises :class:`~repro.errors.CombinationalLoopError`.
 2. **Sequential update.** Every module's ``seq()`` runs exactly once against
    the settled signal values.
 3. **Commit.** All values staged with ``Signal.set_next`` become visible
    simultaneously, emulating a single rising clock edge.
+
+Two interchangeable settling schedulers implement phase 1:
+
+* ``"event"`` (the default) — sensitivity-driven. At elaboration every
+  signal gets a fanout list of the modules that declared
+  :meth:`~repro.sim.module.Module.sensitive_to` it; a value change enqueues
+  exactly those modules onto a work-list, so each delta pass re-evaluates
+  only modules whose inputs changed. Modules that declared no sensitivity
+  fall back to every-pass evaluation (always safe). Cycles on which the
+  work-list is empty — no external input, no changed register commit, no
+  ``wake()`` from a host-side event — skip settling entirely (the
+  *quiescent-cycle fast path*, common in polling-host applications).
+* ``"fixpoint"`` — the original kernel: every ``comb()`` on every pass
+  until a pass changes nothing. Kept as the reference implementation; the
+  differential harness in ``tests/test_scheduler_equivalence.py`` checks
+  the two produce bit-identical per-cycle signal histories.
+
+Select with the ``scheduler=`` argument, the ``REPRO_SIM_SCHEDULER``
+environment variable, or the ``Simulator.DEFAULT_SCHEDULER`` class
+attribute (argument > environment > class default).
 
 The simulator intentionally supports only a single clock domain: the paper's
 prototype likewise requires all recorded/replayed interfaces to share one
@@ -17,26 +37,51 @@ clock (AWS F1 enforces this).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import os
+from time import perf_counter
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import CombinationalLoopError, SimulationError, WatchdogTimeout
 from repro.sim.module import Module
 from repro.sim.signal import Signal
 
+_SCHEDULERS = ("event", "fixpoint")
+
 
 class Simulator:
     """Owns a flattened set of modules and advances them cycle by cycle."""
 
-    def __init__(self, name: str = "sim", max_delta: int = 64):
+    DEFAULT_SCHEDULER = "event"
+
+    def __init__(self, name: str = "sim", max_delta: int = 64,
+                 scheduler: Optional[str] = None):
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SIM_SCHEDULER") \
+                or self.DEFAULT_SCHEDULER
+        if scheduler not in _SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of {_SCHEDULERS}")
         self.name = name
         self.max_delta = max_delta
+        self.scheduler = scheduler
         self.cycle = 0
         self.modules: List[Module] = []
         self._comb_modules: List[Module] = []
+        self._seq_modules: List[Module] = []
+        self._always_comb: List[Module] = []    # no sensitivity: every pass
+        self._dynamic_comb: List[Module] = []   # declared, auto-woken per cycle
+        self._event_comb: List[Module] = []     # all declared comb modules
+        self._pending: List[Module] = []        # the scheduler's work-list
         self._staged: List[Signal] = []
         self._dirty = False
         self._elaborated = False
+        self._event_mode = scheduler == "event"
         self._cycle_hooks: List[Callable[[int], None]] = []
+        self._profile: Optional[Dict[str, list]] = None
+        # Kernel counters (cheap; useful for the throughput bench and the
+        # --profile report).
+        self.comb_evals = 0
+        self.quiescent_cycles = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -52,13 +97,55 @@ class Simulator:
         """Run ``hook(cycle)`` after each committed cycle (used by waveforms)."""
         self._cycle_hooks.append(hook)
 
+    def signals(self) -> Iterator[Signal]:
+        """Every signal owned by registered modules, in module order."""
+        for module in self.modules:
+            yield from module._signals
+
     def elaborate(self) -> None:
-        """Bind signals and freeze the module set. Idempotent."""
+        """Bind signals, build sensitivity fanout, freeze the module set.
+
+        Idempotent.
+        """
         if self._elaborated:
             return
-        for module in self.modules:
+        for order, module in enumerate(self.modules):
+            module._order = order
             module.bind(self)
-        self._comb_modules = [m for m in self.modules if m.has_comb]
+        self._seq_modules = [m for m in self.modules
+                             if type(m).seq is not Module.seq]
+        if self.scheduler == "fixpoint":
+            # Reference kernel: identical to the seed — every has_comb module
+            # runs on every pass. Pin the scheduled flag so wake() and signal
+            # fanout (which is never built here) stay no-ops.
+            self._comb_modules = [m for m in self.modules if m.has_comb]
+            for module in self.modules:
+                module._comb_scheduled = True
+            self._elaborated = True
+            return
+        # Event-driven kernel. Default-comb (no-op) modules never need
+        # evaluation; undeclared real-comb modules go to the always list.
+        self._comb_modules = [
+            m for m in self.modules
+            if m.has_comb and type(m).comb is not Module.comb
+        ]
+        for module in self.modules:
+            module._comb_scheduled = True
+        for module in self._comb_modules:
+            if module._sensitivity is None:
+                self._always_comb.append(module)   # stays pinned: always runs
+                continue
+            self._event_comb.append(module)
+            if not module.comb_static:
+                self._dynamic_comb.append(module)
+            seen = set()
+            for sig in module._sensitivity:
+                if id(sig) not in seen:
+                    seen.add(id(sig))
+                    sig.bind(self)   # tolerate sensitivity to foreign signals
+                    sig._fanout.append(module)
+        # Everything evaluates on the first cycle.
+        self._pending = list(self._event_comb)
         self._elaborated = True
 
     # ------------------------------------------------------------------
@@ -68,11 +155,67 @@ class Simulator:
         """Simulate one clock cycle."""
         if not self._elaborated:
             self.elaborate()
+        if not self._event_mode:
+            self._step_fixpoint()
+            return
+        # --- combinational settling (event-driven) ---
+        pending = self._pending
+        if self._dynamic_comb:
+            for module in self._dynamic_comb:
+                if not module._comb_scheduled:
+                    module._comb_scheduled = True
+                    pending.append(module)
+        if pending or self._always_comb:
+            self._settle()
+        else:
+            self.quiescent_cycles += 1
+        # --- sequential phase ---
+        for module in self._seq_modules:
+            module.seq()
+        # --- commit ---
+        staged = self._staged
+        if staged:
+            for sig in staged:
+                sig._commit()
+            staged.clear()
+        self.cycle += 1
+        for hook in self._cycle_hooks:
+            hook(self.cycle)
+
+    def _settle(self) -> None:
+        """Run delta passes until the work-list drains and always-modules
+        stop changing signals."""
+        always = self._always_comb
+        for _ in range(self.max_delta):
+            batch = self._pending
+            self._pending = []
+            self._dirty = False
+            if batch:
+                if len(batch) > 1:
+                    # Evaluate in elaboration order, like the fixpoint loop.
+                    batch.sort(key=_order_key)
+                for module in batch:
+                    module._comb_scheduled = False
+                    module.comb()
+                self.comb_evals += len(batch)
+            for module in always:
+                module.comb()
+            self.comb_evals += len(always)
+            if not self._pending and not (always and self._dirty):
+                return
+        raise CombinationalLoopError(
+            f"{self.name}: combinational logic did not settle in "
+            f"{self.max_delta} delta passes at cycle {self.cycle}"
+        )
+
+    def _step_fixpoint(self) -> None:
+        """The original blanket fixpoint kernel (reference implementation)."""
         comb_modules = self._comb_modules
         for _ in range(self.max_delta):
             self._dirty = False
             for module in comb_modules:
                 module.comb()
+            self.comb_evals += len(comb_modules)
             if not self._dirty:
                 break
         else:
@@ -93,8 +236,9 @@ class Simulator:
 
     def run(self, cycles: int) -> None:
         """Simulate a fixed number of cycles."""
+        step = self.step
         for _ in range(cycles):
-            self.step()
+            step()
 
     def run_until(
         self,
@@ -104,17 +248,22 @@ class Simulator:
     ) -> int:
         """Step until ``predicate()`` is true; return cycles consumed.
 
-        Raises :class:`~repro.errors.WatchdogTimeout` after ``max_cycles``
-        steps without the predicate holding — the reproduction's deadlock
+        The predicate is evaluated exactly once per cycle boundary —
+        including the starting boundary (0 cycles consumed) and the final
+        one (true exactly at ``max_cycles`` succeeds); it is *not*
+        re-evaluated on the timeout path. Raises
+        :class:`~repro.errors.WatchdogTimeout` after ``max_cycles`` steps
+        without the predicate holding — the reproduction's deadlock
         detector.
         """
         start = self.cycle
+        if predicate():
+            return 0
+        step = self.step
         for _ in range(max_cycles):
+            step()
             if predicate():
                 return self.cycle - start
-            self.step()
-        if predicate():
-            return self.cycle - start
         raise WatchdogTimeout(
             f"{self.name}: {what or 'condition'} not reached within "
             f"{max_cycles} cycles (cycle {self.cycle})"
@@ -122,8 +271,82 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Return every module and signal to power-on state; cycle goes to 0."""
+        """Return every module and signal to power-on state; cycle goes to 0.
+
+        Also clears all scheduler state — the work-list, staged ``set_next``
+        values and the dirty flag — so a reset taken mid-cycle can never
+        leak a pending commit or a stale wake into the next run.
+        """
         for module in self.modules:
             module.reset_state()
+        for sig in self._staged:
+            sig._next = None   # belt and braces against partial reset_state()
         self._staged.clear()
+        self._dirty = False
+        if self._elaborated and self.scheduler == "event":
+            for module in self._event_comb:
+                module._comb_scheduled = True
+            self._pending = list(self._event_comb)
         self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    def enable_profiling(self) -> None:
+        """Accumulate per-module wall-clock time for comb/seq processes.
+
+        Instruments every scheduled process with ``perf_counter`` wrappers;
+        costs nothing until enabled. Idempotent.
+        """
+        if self._profile is not None:
+            return
+        if not self._elaborated:
+            self.elaborate()
+        self._profile = {}
+        for module in self._comb_modules:
+            cell = self._profile.setdefault(module.name, [0.0, 0, 0.0, 0])
+            module.comb = _timed(module.comb, cell, 0)
+        seq_targets = (self._seq_modules if self.scheduler == "event"
+                       else self.modules)
+        for module in seq_targets:
+            if type(module).seq is Module.seq:
+                continue
+            cell = self._profile.setdefault(module.name, [0.0, 0, 0.0, 0])
+            module.seq = _timed(module.seq, cell, 2)
+
+    def profile_report(self) -> List[dict]:
+        """Per-module time shares, hottest first.
+
+        Rows: ``{"module", "comb_s", "comb_calls", "seq_s", "seq_calls",
+        "total_s", "share_pct"}``. Requires :meth:`enable_profiling`.
+        """
+        if self._profile is None:
+            raise SimulationError("profiling was not enabled on this simulator")
+        rows = []
+        grand = sum(c[0] + c[2] for c in self._profile.values()) or 1e-12
+        for name, (comb_s, comb_calls, seq_s, seq_calls) in self._profile.items():
+            total = comb_s + seq_s
+            rows.append({
+                "module": name,
+                "comb_s": comb_s,
+                "comb_calls": comb_calls,
+                "seq_s": seq_s,
+                "seq_calls": seq_calls,
+                "total_s": total,
+                "share_pct": 100.0 * total / grand,
+            })
+        rows.sort(key=lambda r: r["total_s"], reverse=True)
+        return rows
+
+
+def _order_key(module: Module) -> int:
+    return module._order
+
+
+def _timed(fn: Callable[[], None], cell: list, slot: int) -> Callable[[], None]:
+    def timed() -> None:
+        t0 = perf_counter()
+        fn()
+        cell[slot] += perf_counter() - t0
+        cell[slot + 1] += 1
+    return timed

@@ -7,10 +7,13 @@ from repro.core import VidiConfig
 from repro.errors import ConfigError
 from repro.harness.runner import (
     OverheadStats,
+    SweepCell,
     bench_config,
     overhead_experiment,
     record_run,
     replay_run,
+    run_cells,
+    run_record_cell,
 )
 
 
@@ -91,6 +94,41 @@ class TestExperimentDrivers:
         envelope, rows = run_panopticon()
         assert envelope.loses_data
         assert len(rows) == 10
+
+
+class TestParallelSweeps:
+    CELLS = [
+        SweepCell("sha256", "r1", 700, scale=0.3),
+        SweepCell("sha256", "r2", 701, scale=0.3),
+        SweepCell("sha256", "r2", 702, scale=0.3),
+    ]
+
+    def test_record_cell_worker_is_picklable_metrics(self):
+        row = run_record_cell(self.CELLS[1])
+        assert row["app"] == "sha256" and row["config"] == "r2"
+        assert row["cycles"] > 0 and row["trace_bytes"] > 0
+
+    def test_inline_matches_sequential(self):
+        inline = run_cells(self.CELLS, run_record_cell, jobs=1)
+        assert inline == [run_record_cell(c) for c in self.CELLS]
+
+    def test_parallel_matches_inline_in_order(self):
+        """Sharding across processes must not change a single number, and
+        results must come back in cell order."""
+        inline = run_cells(self.CELLS, run_record_cell, jobs=None)
+        parallel = run_cells(self.CELLS, run_record_cell, jobs=2)
+        assert parallel == inline
+        assert [r["seed"] for r in parallel] == [700, 701, 702]
+
+    def test_table1_results_independent_of_jobs(self):
+        from repro.harness.experiments import run_table1
+
+        seq = run_table1(runs=1, apps=["sha256"], base_seed=800, jobs=1)
+        par = run_table1(runs=1, apps=["sha256"], base_seed=800, jobs=2)
+        assert [(r.app.key, r.native_cycles, r.overhead_pct, r.trace_bytes)
+                for r in seq] == \
+               [(r.app.key, r.native_cycles, r.overhead_pct, r.trace_bytes)
+                for r in par]
 
 
 class TestHarnessCli:
