@@ -1,19 +1,23 @@
 # Development entry points. `make check` is the pre-merge gate: the full
-# tier-1 test suite plus the kernel throughput bench (which enforces the
-# event-scheduler speedup floor and refreshes BENCH_kernel.json).
+# tier-1 test suite plus the throughput benches (which enforce the
+# event-scheduler and time-warp speedup floors and refresh
+# BENCH_kernel.json / BENCH_replay.json).
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 
-.PHONY: check test bench-kernel bench artifacts
+.PHONY: check test bench-kernel bench-replay bench artifacts
 
-check: test bench-kernel
+check: test bench-kernel bench-replay
 
 test:            ## tier-1: the full unit/integration suite
 	$(PYTEST) -x -q
 
 bench-kernel:    ## kernel throughput + BENCH_kernel.json (speedup gate)
 	$(PYTEST) benchmarks/test_simulator_throughput.py -q -s
+
+bench-replay:    ## replay throughput + BENCH_replay.json (time-warp gate)
+	$(PYTEST) benchmarks/test_replay_speed.py -q -s
 
 bench:           ## every benchmark (regenerates benchmarks/results/)
 	$(PYTEST) benchmarks -q -s

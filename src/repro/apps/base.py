@@ -170,6 +170,24 @@ class Accelerator(Module):
         else:
             raise SimulationError(f"{self.name}: kernel yielded {request!r}")
 
+    def next_wake(self, cycle):
+        if self._kernel is None:
+            return None            # idle until a CTRL write calls start()
+        if self._budget > 0:
+            return cycle + self._budget   # burning cycles; resumes exactly then
+        if self._dma_blocked:
+            return None            # resumes on the DMA completion callback
+        return cycle               # kernel advances this cycle
+
+    def on_warp(self, gap: int) -> None:
+        # The skipped cycles would each have run seq(): count them busy and
+        # burn them off the budget (a warp inside a budget window lands the
+        # kernel's resume on exactly the same cycle as per-cycle stepping).
+        if self._kernel is not None:
+            self.busy_cycles += gap
+            if self._budget > 0:
+                self._budget -= gap
+
     def _require_ddr(self) -> None:
         if self.ddr is None:
             raise SimulationError(

@@ -79,6 +79,13 @@ class FrameFifoEcho(Accelerator):
                                   fragment.to_bytes(4, "little"))
             self.fragments_out += 1
 
+    def next_wake(self, cycle):
+        # The drain engine moves fragments every cycle while engaged; the
+        # rest of the accelerator follows the base schedule.
+        if self.draining and not self.fifo.is_empty:
+            return cycle
+        return super().next_wake(cycle)
+
     def kernel(self):
         return iter(())   # the echo path is reactive; no batch kernel
 

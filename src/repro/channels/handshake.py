@@ -147,6 +147,11 @@ class ChannelSource(Module):
             self.sent_count += 1
             self.wake()   # comb must drop VALID (or present the next item)
 
+    def next_wake(self, cycle):
+        # Conservative: stay awake whenever anything is queued or in flight
+        # (the in-flight handshake itself also blocks warping via VALID).
+        return cycle if self._current is not None or self.queue else None
+
     def reset_state(self) -> None:
         super().reset_state()
         self.queue.clear()

@@ -12,7 +12,12 @@ from repro.core.checkpoint import (
     take_checkpoint,
 )
 from repro.core.config import F1_INTERFACE_ORDER, VidiConfig, VidiMode
-from repro.core.decoder import ReplayElement, TraceDecoder
+from repro.core.decoder import (
+    CompactFeed,
+    ReplayAction,
+    ReplayElement,
+    TraceDecoder,
+)
 from repro.core.divergence import Divergence, DivergenceReport, compare_traces
 from repro.core.encoder import TraceEncoder
 from repro.core.events import (
@@ -28,7 +33,7 @@ from repro.core.replayer import ChannelReplayer, ReplayCoordinator
 from repro.core.runtime import VidiRuntime
 from repro.core.shim import VidiShim, build_channel_table
 from repro.core.store import STORAGE_WORD_BYTES, TraceStore
-from repro.core.trace_file import TraceFile
+from repro.core.trace_file import TraceFile, TraceIndex
 from repro.core.vector_clock import VectorClock
 
 __all__ = [
@@ -38,17 +43,20 @@ __all__ = [
     "ChannelPacket",
     "ChannelReplayer",
     "ChannelTable",
+    "CompactFeed",
     "CyclePacket",
     "Divergence",
     "DivergenceReport",
     "EventRef",
     "F1_INTERFACE_ORDER",
+    "ReplayAction",
     "ReplayCoordinator",
     "ReplayElement",
     "STORAGE_WORD_BYTES",
     "TraceDecoder",
     "TraceEncoder",
     "TraceFile",
+    "TraceIndex",
     "TraceMutator",
     "TraceStore",
     "TransactionEvent",

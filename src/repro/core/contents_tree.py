@@ -52,13 +52,15 @@ def pack_contents(entries: Iterable[Tuple[int, bytes]]) -> bytes:
     return level[0]
 
 
-def unpack_contents(blob: bytes, started: Sequence[int],
+def unpack_contents(blob: "bytes | memoryview", started: Sequence[int],
                     table: ChannelTable) -> Dict[int, bytes]:
     """Split a Contents field back into per-channel contents.
 
     ``started`` lists the channel indices whose start bit was set, in any
     order; contents were packed in ascending index order with each channel's
-    fixed content length taken from the table.
+    fixed content length taken from the table. ``blob`` may be a memoryview
+    into the trace body — the per-channel ``bytes()`` below is the only copy
+    the decode path makes.
     """
     out: Dict[int, bytes] = {}
     offset = 0

@@ -91,7 +91,9 @@ def _output_end_records(trace: TraceFile,
     counts = [0] * len(outputs)
     records: Dict[int, List[Tuple[bytes, Tuple[int, ...]]]] = {
         ch: [] for ch in outputs}
-    for packet in trace.packets():
+    # Streaming decode: one packet at a time off the (indexed) body, no
+    # full packet-list materialization for long traces.
+    for packet in trace.iter_packets():
         snapshot = tuple(counts)
         ended_outputs = [ch for ch in outputs if (packet.ends >> ch) & 1]
         for ch in ended_outputs:

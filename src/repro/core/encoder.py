@@ -46,6 +46,7 @@ class TraceEncoder(Module):
         self.store = store
         self.record_output_contents = record_output_contents
         self._packet = CyclePacket()
+        self._stage = bytearray()   # reusable serialization buffer
         self._reserved_bytes = 0
         self._header_bytes = 2 * table.bitvec_bytes
         # Worst case a single cycle can add beyond existing reservations:
@@ -129,19 +130,30 @@ class TraceEncoder(Module):
         packet = self._packet
         if packet.is_empty:
             return
-        blob = packet.serialize(self.table, self.record_output_contents)
-        if self.drop_on_overflow and len(blob) > self.store.free:
+        # Serialize into the reusable staging buffer: one allocation per
+        # eventful cycle (the final bytes() the store keeps) instead of one
+        # per field plus a join.
+        stage = self._stage
+        stage.clear()
+        packet.serialize_into(stage, self.table, self.record_output_contents)
+        if self.drop_on_overflow and len(stage) > self.store.free:
             self.dropped_events += bin(packet.starts).count("1")
             self.dropped_events += bin(packet.ends).count("1")
         else:
             # The reservation protocol guarantees this never overflows.
-            self.store.accept(blob)
+            self.store.accept(bytes(stage))
             self.packets_emitted += 1
-        self._packet = CyclePacket()
+        packet.clear()
+
+    def next_wake(self, cycle):
+        # Events are recorded by monitor seq() calls, which only happen on
+        # cycles with channel activity — activity that blocks warping.
+        return cycle if not self._packet.is_empty else None
 
     def reset_state(self) -> None:
         super().reset_state()
         self._packet = CyclePacket()
+        self._stage.clear()
         self._reserved_bytes = 0
         self.packets_emitted = 0
         self.events_recorded = 0

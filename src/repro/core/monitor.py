@@ -133,6 +133,15 @@ class ChannelMonitor(Module):
             # output next cycle, so stay on the work-list while engaged.
             self.wake()
 
+    def next_wake(self, cycle):
+        # Mirrors the seq() idle early-return: while the channel shows no
+        # valid on either side and no end reservation is held, seq() is a
+        # no-op and the monitor sleeps until a signal change wakes the sim.
+        if not self.up.valid._value and not self.down.valid._value \
+                and not self._committed:
+            return None
+        return cycle
+
     def reset_state(self) -> None:
         super().reset_state()
         self._committed = False

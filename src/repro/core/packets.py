@@ -70,6 +70,13 @@ class CyclePacket:
     def is_empty(self) -> bool:
         return self.starts == 0 and self.ends == 0
 
+    def clear(self) -> None:
+        """Reset to the empty packet in place (the encoder reuses one)."""
+        self.starts = 0
+        self.ends = 0
+        self.contents.clear()
+        self.validation.clear()
+
     # ------------------------------------------------------------------
     def channel_packet(self, index: int) -> ChannelPacket:
         """Decompose this cycle packet into one channel's packet (§3.4)."""
@@ -84,15 +91,30 @@ class CyclePacket:
     # ------------------------------------------------------------------
     def serialize(self, table: ChannelTable, with_validation: bool) -> bytes:
         """Encode as ``[Starts][Ends][Contents]`` with fixed-width bitvectors."""
+        out = bytearray()
+        self.serialize_into(out, table, with_validation)
+        return bytes(out)
+
+    def serialize_into(self, out: bytearray, table: ChannelTable,
+                       with_validation: bool) -> None:
+        """Append the encoding to ``out`` without intermediate allocations.
+
+        The Contents/Validation fields are dense concatenations in ascending
+        channel order — exactly what the hardware's binary reduction tree
+        (:func:`~repro.core.contents_tree.pack_contents`) produces, appended
+        piecewise instead of joined; the round-trip property tests pin the
+        two encodings byte-identical.
+        """
         nbytes = table.bitvec_bytes
-        parts = [
-            self.starts.to_bytes(nbytes, "little"),
-            self.ends.to_bytes(nbytes, "little"),
-            pack_contents(self.contents.items()),
-        ]
-        if with_validation:
-            parts.append(pack_contents(self.validation.items()))
-        return b"".join(parts)
+        out += self.starts.to_bytes(nbytes, "little")
+        out += self.ends.to_bytes(nbytes, "little")
+        contents = self.contents
+        if contents:
+            for index in sorted(contents):
+                out += contents[index]
+        if with_validation and self.validation:
+            for index in sorted(self.validation):
+                out += self.validation[index]
 
     @classmethod
     def deserialize(cls, blob: memoryview, offset: int, table: ChannelTable,
@@ -111,7 +133,9 @@ class CyclePacket:
                     f"start bit set for output channel {table[index].name}"
                 )
         content_len = sum(table[i].content_bytes for i in started)
-        contents = unpack_contents(bytes(blob[cursor:cursor + content_len]),
+        # memoryview slices go straight into unpack_contents — the only copy
+        # is the final per-channel bytes() the packet keeps.
+        contents = unpack_contents(blob[cursor:cursor + content_len],
                                    started, table)
         cursor += content_len
         validation: Dict[int, bytes] = {}
@@ -119,7 +143,7 @@ class CyclePacket:
             ended_outputs = [i for i in iter_bits(ends, table.n)
                              if not table.is_input(i)]
             val_len = sum(table[i].content_bytes for i in ended_outputs)
-            validation = unpack_contents(bytes(blob[cursor:cursor + val_len]),
+            validation = unpack_contents(blob[cursor:cursor + val_len],
                                          ended_outputs, table)
             cursor += val_len
         packet = cls(starts=starts, ends=ends, contents=contents,

@@ -14,14 +14,23 @@ elements; ``T_current`` counts transactions that actually completed, shared
 through a :class:`ReplayCoordinator` (the broadcast bus of the paper's
 design). Completions become visible to other replayers at the next cycle
 boundary, like the hardware's one-cycle broadcast.
+
+Replayers consume :class:`~repro.core.decoder.ReplayAction` lists — only
+the events this channel must gate, each carrying a precomputed
+``T_expected`` snapshot — so a replayer's sequential process walks
+O(own events) instead of O(all packets). Legacy element feeds
+(``List[ReplayElement]``, the one-element-per-packet hardware decomposition)
+are accepted too and compiled to actions at construction; the semantics are
+identical, as ``tests/test_replayer_unit.py`` exercises through the legacy
+interface.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.channels.handshake import Channel
-from repro.core.decoder import ReplayElement
+from repro.core.decoder import CompactFeed, ReplayAction, ReplayElement
 from repro.core.vector_clock import VectorClock
 from repro.errors import ReplayError
 from repro.sim.module import Module
@@ -40,6 +49,36 @@ class ReplayCoordinator:
         self.version += 1
 
 
+def compile_elements(feed: Sequence[ReplayElement], direction: str,
+                     n_channels: int, name: str = "feed") -> List[ReplayAction]:
+    """Compile a legacy element feed into gated actions.
+
+    Mirrors the replayer's original incremental walk: an action's
+    ``expected`` clock is the sum of the ``ends_mask`` fields of all
+    elements before it — snapshotted *before* the action's own element
+    advances the clock.
+    """
+    counts = [0] * n_channels
+    actions: List[ReplayAction] = []
+    for element in feed:
+        if element.start and direction == "in":
+            if element.content is None:
+                raise ReplayError(f"{name}: start element without content")
+            actions.append(ReplayAction(
+                int.from_bytes(element.content, "little"),
+                VectorClock(counts)))
+        elif element.end and direction == "out":
+            actions.append(ReplayAction(None, VectorClock(counts)))
+        mask = element.ends_mask
+        index = 0
+        while mask:
+            if mask & 1:
+                counts[index] += 1
+            mask >>= 1
+            index += 1
+    return actions
+
+
 class ChannelReplayer(Module):
     """Replays one channel's recorded transaction events.
 
@@ -52,7 +91,7 @@ class ChannelReplayer(Module):
 
     def __init__(self, name: str, index: int, channel: Channel,
                  coordinator: ReplayCoordinator, direction: str,
-                 feed: List[ReplayElement]):
+                 feed: Union[Sequence[ReplayElement], CompactFeed]):
         super().__init__(name)
         if direction not in ("in", "out"):
             raise ValueError(f"replayer direction must be 'in'/'out', got {direction!r}")
@@ -60,9 +99,12 @@ class ChannelReplayer(Module):
         self.channel = channel
         self.coordinator = coordinator
         self.direction = direction
-        self.feed = feed
-        self.position = 0
-        self.t_expected = VectorClock(len(coordinator.current))
+        if isinstance(feed, CompactFeed):
+            self.actions: List[ReplayAction] = feed.actions
+        else:
+            self.actions = compile_elements(
+                feed, direction, len(coordinator.current), name)
+        self._action_pos = 0
         # Input-side sender state.
         self._pending_contents: List[int] = []
         self._current: Optional[int] = None
@@ -76,8 +118,8 @@ class ChannelReplayer(Module):
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        """All trace elements consumed and nothing left in flight."""
-        if self.position < len(self.feed):
+        """All trace actions consumed and nothing left in flight."""
+        if self._action_pos < len(self.actions):
             return False
         if self.direction == "in":
             return self._current is None and not self._pending_contents
@@ -115,45 +157,43 @@ class ChannelReplayer(Module):
             self.replayed_transactions += 1
             self.coordinator.complete(self.index)
             self.wake()   # _current/_ready_credits changed
-        # 2. Consume as many trace elements as the vector clocks allow.
-        feed = self.feed
-        while self.position < len(feed):
-            element = feed[self.position]
-            needs_action = (element.start and self.direction == "in") or (
-                element.end and self.direction == "out")
-            if needs_action:
-                if not self._clocks_satisfied():
-                    break
-                if element.start and self.direction == "in":
-                    if element.content is None:
-                        raise ReplayError(
-                            f"{self.name}: start element without content"
-                        )
-                    self._pending_contents.append(
-                        int.from_bytes(element.content, "little"))
-                    self.wake()
-                if element.end and self.direction == "out":
-                    self._ready_credits += 1
-                    self.wake()
-            self.t_expected.advance_by_mask(element.ends_mask)
-            self._satisfied_version = -1  # expected changed; re-evaluate
-            self.position += 1
+        # 2. Consume as many actions as the vector clocks allow.
+        actions = self.actions
+        n_actions = len(actions)
+        is_input = self.direction == "in"
+        while self._action_pos < n_actions:
+            action = actions[self._action_pos]
+            if not self._clocks_satisfied(action.expected):
+                break
+            if is_input:
+                self._pending_contents.append(action.word)
+            else:
+                self._ready_credits += 1
+            self.wake()
+            self._action_pos += 1
+            self._satisfied_version = -1  # next action: re-evaluate
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        # Purely reactive: everything seq() does is triggered by channel
+        # activity (fired) or another replayer's completion broadcast — and a
+        # broadcast is always made on a cycle with channel activity, which
+        # blocks warping until the cycle after we have observed it.
+        return None
 
     # ------------------------------------------------------------------
-    def _clocks_satisfied(self) -> bool:
-        """``T_current >= T_expected``, cached until either side changes."""
+    def _clocks_satisfied(self, expected: VectorClock) -> bool:
+        """``T_current >= expected``, cached until either side changes."""
         version = self.coordinator.version
         if self._satisfied_version == version:
             return True
-        if self.coordinator.current.geq(self.t_expected):
+        if self.coordinator.current.geq(expected):
             self._satisfied_version = version
             return True
         return False
 
     def reset_state(self) -> None:
         super().reset_state()
-        self.position = 0
-        self.t_expected = VectorClock(len(self.coordinator.current))
+        self._action_pos = 0
         self._pending_contents.clear()
         self._current = None
         self._ready_credits = 0

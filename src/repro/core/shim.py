@@ -172,7 +172,10 @@ class VidiShim(Module):
                 "deployment monitors"
             )
         decoder = TraceDecoder(self.table, with_validation=trace.with_validation)
-        packets = decoder.decode_packets(trace.body)
+        # One pass over the body builds every channel's compact action feed
+        # (payloads + precomputed T_expected snapshots) — replayers never
+        # walk packets their channel has no event in.
+        feeds = decoder.compact_feeds(trace.body)
         self.coordinator = ReplayCoordinator(self.table.n)
         validate = config.record_output_contents
         if validate:
@@ -189,7 +192,7 @@ class VidiShim(Module):
         pending_monitors: List[ChannelMonitor] = []
         for iface_name in config.monitored:
             for channel_name, env_ch, app_ch in self._pairs(iface_name):
-                feed = decoder.channel_feed(packets, index)
+                feed = feeds[index]
                 if env_ch.direction == "in":
                     # Input: the replayer is the sender on the app-side channel.
                     replayer = ChannelReplayer(

@@ -16,7 +16,8 @@ timestamps.
 
 from __future__ import annotations
 
-from typing import List
+from collections import deque
+from typing import Deque
 
 from repro.errors import SimulationError
 from repro.sim.module import Module
@@ -28,6 +29,15 @@ STORAGE_WORD_BYTES = 64
 # storage bandwidth at a 250 MHz design clock is 22 bytes per cycle.
 DEFAULT_BANDWIDTH_BYTES_PER_CYCLE = 22.0
 DEFAULT_STAGING_BYTES = 64 * 1024
+
+CREDIT_SCALE = 256
+"""Fixed-point scale for drain-credit accounting.
+
+Fractional bandwidths (0.5 bytes/cycle, 22.0 minus an arbiter share, ...)
+accumulate as integer multiples of 1/256 byte, so drains land on exactly the
+same cycles on every platform — no float rounding drift across long runs,
+and warp catch-up (``on_warp``) is exact integer arithmetic.
+"""
 
 
 class TraceStore(Module):
@@ -58,9 +68,12 @@ class TraceStore(Module):
             )
         self.staging_bytes = staging_bytes
         self.bandwidth = bandwidth_bytes_per_cycle
-        self._staged: List[bytes] = []
+        self._staged: Deque[bytes] = deque()
         self._staged_bytes = 0
-        self._drain_credit = 0.0
+        self._head_offset = 0            # bytes of the head chunk already drained
+        # Fixed-point (×CREDIT_SCALE) integer credit; see CREDIT_SCALE.
+        self._drain_credit = 0
+        self._idle_credit_cap = round(4 * self.bandwidth * CREDIT_SCALE)
         self.data = bytearray()          # external storage (host DRAM model)
         self.total_packet_bytes = 0      # exact encoded trace length
         self.stall_cycles = 0            # cycles spent with staging full
@@ -87,36 +100,66 @@ class TraceStore(Module):
         bandwidth = self.bandwidth
         if self.arbiter is not None:
             bandwidth = min(bandwidth, self.arbiter.store_budget())
+        bw_fp = round(bandwidth * CREDIT_SCALE)
         if not self._staged:
-            self._drain_credit = min(self._drain_credit + bandwidth,
-                                     4 * self.bandwidth)
+            self._drain_credit = min(self._drain_credit + bw_fp,
+                                     round(4 * self.bandwidth * CREDIT_SCALE))
             return
         if self.free == 0:
             self.stall_cycles += 1
-        self._drain_credit += bandwidth
-        budget = int(self._drain_credit)
+        self._drain_credit += bw_fp
+        budget = self._drain_credit // CREDIT_SCALE
         spent = 0
-        while self._staged and spent < budget:
-            head = self._staged[0]
-            take = min(len(head), budget - spent)
-            self.data.extend(head[:take])
+        staged = self._staged
+        data = self.data
+        while staged and spent < budget:
+            head = staged[0]
+            offset = self._head_offset
+            avail = len(head) - offset
+            take = min(avail, budget - spent)
+            if take == avail:
+                # Whole (remaining) chunk: append without re-slicing the
+                # deque head — partially drained chunks advance an offset
+                # instead of being copied back shortened.
+                data += head if offset == 0 else memoryview(head)[offset:]
+                staged.popleft()
+                self._head_offset = 0
+            else:
+                data += memoryview(head)[offset:offset + take]
+                self._head_offset = offset + take
             spent += take
             self._staged_bytes -= take
-            if take == len(head):
-                self._staged.pop(0)
-            else:
-                self._staged[0] = head[take:]
-        self._drain_credit -= spent
+        self._drain_credit -= spent * CREDIT_SCALE
         if self.arbiter is not None and spent:
             self.arbiter.note_store_bytes(spent)
 
     # ------------------------------------------------------------------
+    # time-warp declarations
+    # ------------------------------------------------------------------
+    def next_wake(self, cycle):
+        # Draining is per-cycle work; an empty staging buffer leaves only
+        # idle credit accrual, which on_warp() accounts for in one step.
+        return cycle if self._staged else None
+
+    def on_warp(self, gap: int) -> None:
+        if not self._staged:
+            self._drain_credit = min(
+                self._drain_credit + gap * round(self.bandwidth * CREDIT_SCALE),
+                round(4 * self.bandwidth * CREDIT_SCALE))
+
+    # ------------------------------------------------------------------
     def flush(self) -> None:
         """Drain everything instantly (end of a recording run)."""
+        offset = self._head_offset
         for chunk in self._staged:
-            self.data.extend(chunk)
+            if offset:
+                self.data += memoryview(chunk)[offset:]
+                offset = 0
+            else:
+                self.data += chunk
         self._staged.clear()
         self._staged_bytes = 0
+        self._head_offset = 0
 
     @property
     def trace_bytes(self) -> bytes:
@@ -137,7 +180,8 @@ class TraceStore(Module):
         super().reset_state()
         self._staged.clear()
         self._staged_bytes = 0
-        self._drain_credit = 0.0
+        self._head_offset = 0
+        self._drain_credit = 0
         self.data = bytearray()
         self.total_packet_bytes = 0
         self.stall_cycles = 0

@@ -14,13 +14,78 @@ import json
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.events import ChannelTable
-from repro.core.packets import CyclePacket, deserialize_packets, serialize_packets
+from repro.core.packets import (CyclePacket, deserialize_packets, iter_bits,
+                                serialize_packets)
 from repro.errors import TraceFormatError
 
 _MAGIC = b"VIDITRC1"
+
+
+class TraceIndex:
+    """Packet ordinal → byte offset map over a trace body.
+
+    Built in one pass that reads only packet *headers* (the fixed-width
+    Starts/Ends bitvectors) and computes each packet's content length from
+    the channel table — no contents are decoded and no bytes are copied.
+    With the index, replay and the divergence detector seek to any packet
+    (or slice out any packet range, e.g. a checkpoint shard) in O(1)
+    instead of re-scanning the stream.
+    """
+
+    def __init__(self, body: bytes, table: ChannelTable,
+                 with_validation: bool):
+        self.table = table
+        self.with_validation = with_validation
+        nbytes = table.bitvec_bytes
+        content_bytes = [table[i].content_bytes for i in range(table.n)]
+        is_input = [table.is_input(i) for i in range(table.n)]
+        view = memoryview(body)
+        size = len(view)
+        offsets: List[int] = []
+        offset = 0
+        while offset < size:
+            if offset + 2 * nbytes > size:
+                raise TraceFormatError(
+                    "trace truncated inside a cycle-packet header")
+            offsets.append(offset)
+            starts = int.from_bytes(view[offset:offset + nbytes], "little")
+            ends = int.from_bytes(
+                view[offset + nbytes:offset + 2 * nbytes], "little")
+            offset += 2 * nbytes
+            for i in iter_bits(starts, table.n):
+                offset += content_bytes[i]
+            if with_validation:
+                for i in iter_bits(ends, table.n):
+                    if not is_input[i]:
+                        offset += content_bytes[i]
+        self.offsets = offsets
+        self.end = size
+        self._body = body
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def offset_of(self, ordinal: int) -> int:
+        """Byte offset of packet ``ordinal`` (``len(self)`` maps to the end)."""
+        if ordinal == len(self.offsets):
+            return self.end
+        return self.offsets[ordinal]
+
+    def slice(self, start: int, stop: int) -> bytes:
+        """The body bytes spanning packets ``[start, stop)`` — a valid
+        trace body of its own (used to carve checkpoint shards)."""
+        return self._body[self.offset_of(start):self.offset_of(stop)]
+
+    def packet_at(self, ordinal: int) -> CyclePacket:
+        """Decode exactly one packet — the O(1) seek replay and the
+        divergence detector use."""
+        packet, _ = CyclePacket.deserialize(
+            memoryview(self._body), self.offsets[ordinal], self.table,
+            self.with_validation)
+        return packet
 
 
 @dataclass
@@ -31,6 +96,8 @@ class TraceFile:
     body: bytes
     with_validation: bool = True
     metadata: Dict[str, Any] = field(default_factory=dict)
+    _index: Optional[TraceIndex] = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -41,6 +108,28 @@ class TraceFile:
     def packets(self) -> List[CyclePacket]:
         """Decode the body into cycle packets."""
         return deserialize_packets(self.body, self.table, self.with_validation)
+
+    def index(self) -> TraceIndex:
+        """The packet-offset index for this body (built once, cached)."""
+        if self._index is None:
+            self._index = TraceIndex(self.body, self.table,
+                                     self.with_validation)
+        return self._index
+
+    @property
+    def packet_count(self) -> int:
+        """Number of eventful-cycle packets in the body."""
+        return len(self.index())
+
+    def iter_packets(self) -> Iterator[CyclePacket]:
+        """Decode packets lazily — no up-front list materialization."""
+        view = memoryview(self.body)
+        offset = 0
+        size = len(view)
+        while offset < size:
+            packet, offset = CyclePacket.deserialize(
+                view, offset, self.table, self.with_validation)
+            yield packet
 
     @classmethod
     def from_packets(cls, table: ChannelTable, packets: List[CyclePacket],

@@ -66,5 +66,13 @@ class VectorClock:
         """Immutable view, used by analysis tooling."""
         return tuple(self.counts)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self.counts == other.counts
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.counts))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VectorClock({self.counts})"

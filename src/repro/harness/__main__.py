@@ -7,6 +7,7 @@ artefact (optionally writing it to a file)::
     python -m repro.harness fig7 -o fig7.txt
     python -m repro.harness table1 --runs 10          # paper-grade sampling
     python -m repro.harness divergence --runs 3
+    python -m repro.harness timewarp
     python -m repro.harness panopticon
     python -m repro.harness case-debugging
     python -m repro.harness case-testing
@@ -16,6 +17,11 @@ Applications can also be recorded and replayed directly::
 
     python -m repro.harness record sha256 -o sha.trace --seed 7
     python -m repro.harness replay sha256 sha.trace
+
+Long traces replay in parallel, sharded at quiescent checkpoints::
+
+    python -m repro.harness record dram_dma -o d.trace --checkpoints d.ckpt
+    python -m repro.harness replay dram_dma d.trace --jobs 4 --checkpoints d.ckpt
 """
 
 from __future__ import annotations
@@ -39,6 +45,8 @@ def _artifact(name: str, runs: int, jobs: Optional[int] = None) -> str:
         return exp.render_divergence(exp.run_divergence(runs=runs, jobs=jobs))
     if name == "panopticon":
         return exp.render_panopticon(*exp.run_panopticon())
+    if name == "timewarp":
+        return exp.render_time_warp(exp.run_time_warp(jobs=jobs))
     if name == "case-debugging":
         return exp.render_case_debugging(exp.run_case_debugging())
     if name == "case-testing":
@@ -47,7 +55,7 @@ def _artifact(name: str, runs: int, jobs: Optional[int] = None) -> str:
 
 
 FAST = ("table2", "fig7", "panopticon")
-ALL = ("table1", "table2", "fig7", "divergence", "panopticon",
+ALL = ("table1", "table2", "fig7", "divergence", "timewarp", "panopticon",
        "case-debugging", "case-testing")
 
 
@@ -58,8 +66,21 @@ def _cmd_record(args) -> int:
     from repro.harness.runner import bench_config, record_run
 
     spec = get_app(args.app)
-    metrics = record_run(spec, bench_config(VidiConfig.r2), seed=args.seed,
-                         scale=args.scale, profile=args.profile)
+    if args.checkpoints:
+        from repro.harness.sharded_replay import (
+            record_with_checkpoints,
+            save_checkpoints,
+        )
+
+        metrics, checkpoints = record_with_checkpoints(
+            spec, bench_config(VidiConfig.r2), seed=args.seed,
+            scale=args.scale)
+        save_checkpoints(args.checkpoints, checkpoints)
+        print(f"harvested {len(checkpoints)} quiescent checkpoint(s) "
+              f"-> {args.checkpoints}")
+    else:
+        metrics = record_run(spec, bench_config(VidiConfig.r2), seed=args.seed,
+                             scale=args.scale, profile=args.profile)
     trace = metrics.result["trace"]
     trace.save(args.output, compress=args.compress)
     print(f"recorded {spec.label}: {metrics.cycles} cycles, "
@@ -96,9 +117,30 @@ def _cmd_replay(args) -> int:
 
     spec = get_app(args.app)
     trace = TraceFile.load(args.trace)
-    metrics = replay_run(spec, trace)
-    report = compare_traces(trace, metrics.result["validation"])
-    print(f"replayed {spec.label}: {metrics.cycles} cycles")
+    time_warp = False if args.no_time_warp else None
+    if args.jobs and args.jobs > 1:
+        from repro.harness.sharded_replay import (
+            load_checkpoints,
+            replay_sharded,
+        )
+
+        if not args.checkpoints:
+            print("sharded replay (--jobs > 1) needs --checkpoints from "
+                  "`record --checkpoints`", file=sys.stderr)
+            return 2
+        checkpoints = load_checkpoints(args.checkpoints)
+        result = replay_sharded(spec, trace, checkpoints, jobs=args.jobs,
+                                time_warp=time_warp)
+        report = compare_traces(trace, result.validation)
+        print(f"replayed {spec.label}: {result.segments} segment(s), "
+              f"critical path {result.critical_path_cycles} of "
+              f"{result.total_cycles} total cycles")
+    else:
+        metrics = replay_run(spec, trace, time_warp=time_warp)
+        report = compare_traces(trace, metrics.result["validation"])
+        sim = metrics.result["deployment"].sim
+        print(f"replayed {spec.label}: {metrics.cycles} cycles "
+              f"({sim.warped_cycles} warped in {sim.warp_jumps} jump(s))")
     print(report.summary())
     return 0 if report.clean else 1
 
@@ -125,10 +167,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_rec.add_argument("--compress", action="store_true")
     p_rec.add_argument("--profile", action="store_true",
                        help="report per-module comb/seq kernel time shares")
+    p_rec.add_argument("--checkpoints", metavar="PATH",
+                       help="also harvest quiescent checkpoints to this "
+                            "sidecar file (enables sharded replay)")
     p_rec.set_defaults(func=_cmd_record)
     p_rep = sub.add_parser("replay", help="replay and validate a trace")
     p_rep.add_argument("app")
     p_rep.add_argument("trace")
+    p_rep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="checkpoint-sharded parallel replay across N "
+                            "worker processes (needs --checkpoints)")
+    p_rep.add_argument("--checkpoints", metavar="PATH",
+                       help="checkpoint sidecar written by "
+                            "`record --checkpoints`")
+    p_rep.add_argument("--no-time-warp", action="store_true",
+                       help="disable quiescent-gap skipping (per-cycle "
+                            "reference replay)")
     p_rep.set_defaults(func=_cmd_replay)
 
     # Back-compat: `python -m repro.harness table2` without the

@@ -29,6 +29,7 @@ from repro.harness.runner import (
     OverheadStats,
     SweepCell,
     bench_config,
+    replay_run,
     run_cells,
     run_divergence_cell,
     run_record_cell,
@@ -401,6 +402,114 @@ def render_case_testing(outcome: Dict[str, object]) -> str:
         f"  upstream bugfix survives mutated replay : {outcome['mutated_passes_fixed']}\n"
         f"  recorded trace                          : {fmt_bytes(outcome['trace_bytes'])}"
     )
+
+
+# ----------------------------------------------------------------------
+# Replay time warp + checkpoint-sharded parallel replay
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TimeWarpRow:
+    """Replay acceleration measurements for one application."""
+
+    label: str
+    replay_cycles: int
+    warped_cycles: int
+    percycle_cps: float          # simulated cycles/sec, warp disabled
+    warp_cps: float              # simulated cycles/sec, warp enabled
+    segments: int                # checkpoint shards the trace split into
+    critical_path_cycles: int    # slowest shard (parallel wall-clock)
+    identical: bool              # warp + stitched bodies == per-cycle body
+
+    @property
+    def skip_ratio(self) -> float:
+        if not self.replay_cycles:
+            return 0.0
+        return self.warped_cycles / self.replay_cycles
+
+    @property
+    def warp_speedup(self) -> float:
+        if not self.percycle_cps:
+            return 0.0
+        return self.warp_cps / self.percycle_cps
+
+    @property
+    def shard_speedup(self) -> float:
+        """Cycle-count reduction an ideal parallel stitcher achieves."""
+        if not self.critical_path_cycles:
+            return 0.0
+        return self.replay_cycles / self.critical_path_cycles
+
+
+def run_time_warp(apps: Sequence[str] = ("sha256", "dram_dma", "bnn"),
+                  seed: int = 7, segments: int = 4,
+                  jobs: Optional[int] = None) -> List[TimeWarpRow]:
+    """Measure replay acceleration: quiescent-gap skipping and sharding.
+
+    Records each app once (harvesting checkpoints), replays the trace
+    per-cycle and with time warp (wall-clock timed), then replays it
+    sharded at checkpoint boundaries and verifies all three validation
+    traces are byte-identical.
+    """
+    import time
+
+    from repro.harness.sharded_replay import (
+        record_with_checkpoints,
+        replay_sharded,
+    )
+
+    rows: List[TimeWarpRow] = []
+    for key in apps:
+        spec = get_app(key)
+        metrics, checkpoints = record_with_checkpoints(spec, seed=seed)
+        trace = metrics.result["trace"]
+
+        t0 = time.perf_counter()
+        percycle = replay_run(spec, trace, time_warp=False)
+        percycle_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warp = replay_run(spec, trace, time_warp=True)
+        warp_s = time.perf_counter() - t0
+        sharded = replay_sharded(spec, trace, checkpoints,
+                                 segments=segments, jobs=jobs)
+
+        reference_body = bytes(percycle.result["validation"].body)
+        identical = (
+            bytes(warp.result["validation"].body) == reference_body
+            and bytes(sharded.validation.body) == reference_body)
+        sim = warp.result["deployment"].sim
+        rows.append(TimeWarpRow(
+            label=spec.label,
+            replay_cycles=warp.cycles,
+            warped_cycles=sim.warped_cycles,
+            percycle_cps=percycle.cycles / max(percycle_s, 1e-9),
+            warp_cps=warp.cycles / max(warp_s, 1e-9),
+            segments=sharded.segments,
+            critical_path_cycles=sharded.critical_path_cycles,
+            identical=identical,
+        ))
+    return rows
+
+
+def render_time_warp(rows: Sequence[TimeWarpRow]) -> str:
+    body = [[
+        row.label,
+        row.replay_cycles,
+        f"{row.skip_ratio * 100:.1f}",
+        f"{row.warp_speedup:.2f}x",
+        row.segments,
+        f"{row.shard_speedup:.2f}x",
+        "yes" if row.identical else "NO",
+    ] for row in rows]
+    note = ("(skip% = replay cycles bridged by quiescent-gap warps; shard = "
+            "replay-cycle reduction from checkpoint-sharded parallel replay; "
+            "identical = per-cycle, warped and stitched validation traces "
+            "agree byte-for-byte)")
+    return render_table(
+        "Replay acceleration: time warp and checkpoint sharding",
+        ["App", "Cycles", "Skip%", "Warp", "Shards", "Shard", "Identical"],
+        body) + "\n" + note
 
 
 # ----------------------------------------------------------------------

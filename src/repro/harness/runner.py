@@ -59,12 +59,16 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
                env_mode: EnvironmentMode = EnvironmentMode.HARDWARE,
                max_cycles: int = 4_000_000,
                check: bool = True,
-               profile: bool = False) -> RunMetrics:
+               profile: bool = False,
+               before_run: Optional[Callable[[F1Deployment], None]] = None
+               ) -> RunMetrics:
     """Run one application under R1 or R2 and collect metrics.
 
     Under R2 the recorded trace is attached as ``metrics.result['trace']``.
     With ``profile=True`` the simulation kernel collects per-module
     comb/seq wall-clock shares, attached as ``result['kernel_profile']``.
+    ``before_run`` is called with the fully assembled deployment right
+    before it starts running — the hook point checkpoint collection uses.
     """
     if config.mode is VidiMode.REPLAY:
         raise ConfigError("use replay_run() for replay configurations")
@@ -85,6 +89,8 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
     deployment.cpu.add_thread(host_factory(result, seed=seed, scale=use_scale))
     if profile:
         deployment.sim.enable_profiling()
+    if before_run is not None:
+        before_run(deployment)
     cycles = deployment.run_to_completion(max_cycles=max_cycles)
     if check:
         spec.check(result)
@@ -115,14 +121,20 @@ def trace_interfaces(trace: TraceFile) -> tuple:
 
 def replay_run(spec: AppSpec, trace: TraceFile,
                config: Optional[VidiConfig] = None,
-               max_cycles: int = 4_000_000) -> RunMetrics:
+               max_cycles: int = 4_000_000,
+               time_warp: Optional[bool] = None) -> RunMetrics:
     """Replay a trace against a fresh deployment; returns metrics with the
-    validation trace attached as ``result['validation']``."""
+    validation trace attached as ``result['validation']``.
+
+    ``time_warp`` selects the kernel's quiescent-gap skipping (default: on;
+    pass ``False`` for the per-cycle reference path the equivalence tests
+    and the replay benchmark compare against).
+    """
     acc_factory, _host = spec.make()
     replay_config = config or VidiConfig.r3(
         interfaces=trace_interfaces(trace))
     deployment = F1Deployment(f"replay_{spec.key}", acc_factory, replay_config,
-                              replay_trace=trace)
+                              replay_trace=trace, time_warp=time_warp)
     cycles = deployment.run_replay(max_cycles=max_cycles)
     metrics = RunMetrics(app=spec.key, mode="replay", seed=-1, cycles=cycles)
     if deployment.shim.store is not None:

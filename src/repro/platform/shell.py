@@ -46,11 +46,12 @@ class F1Deployment:
                  host_latency: int = 6, host_jitter: int = 4,
                  think_jitter: int = 3, with_ddr4: bool = False,
                  with_axis: bool = False,
-                 scheduler: Optional[str] = None):
+                 scheduler: Optional[str] = None,
+                 time_warp: Optional[bool] = None):
         self.name = name
         self.config = config
         self.env_mode = env_mode
-        self.sim = Simulator(name, scheduler=scheduler)
+        self.sim = Simulator(name, scheduler=scheduler, time_warp=time_warp)
         with_ddr4 = with_ddr4 or "ddr4" in config.interfaces
         with_axis = with_axis or "axis_in" in config.interfaces \
             or "axis_out" in config.interfaces

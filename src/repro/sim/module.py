@@ -41,6 +41,32 @@ scheduling by declaring what their combinational process reads:
 A module that declares sensitivity but reads an undeclared signal in
 ``comb()`` will compute stale outputs — the differential harness in
 ``tests/test_scheduler_equivalence.py`` exists to catch exactly that.
+
+Time-warp declarations (quiescent-gap skipping)
+-----------------------------------------------
+
+On cycles where the comb work-list is empty the event kernel can go one
+step further than skipping settling: it can skip the cycle *entirely* —
+provided every sequential process agrees it has nothing to do. Modules
+with a ``seq()`` opt in by overriding :meth:`next_wake`:
+
+* return ``None`` — "my ``seq()`` is a no-op until something external
+  happens" (a signal change, a ``wake()``, a callback). Pure-reactive
+  modules (replayers waiting on vector clocks, idle DMA engines) say this.
+* return a cycle number — the earliest future cycle the module's ``seq()``
+  must run (a kernel burning an N-cycle budget returns ``cycle + budget``).
+  Returning the current cycle means "run me now" and blocks warping.
+
+When *all* sequential modules override ``next_wake`` and the design has
+been fully quiet for a cycle, the kernel jumps the cycle counter straight
+to the earliest returned wake. Modules that maintain per-cycle Python
+counters additionally override :meth:`on_warp` to account for the skipped
+cycles in one step (busy-cycle counters, drain-credit accumulators).
+
+A single sequential module *without* a ``next_wake`` override makes the
+whole simulation opaque and disables warping — the safe default, and the
+reason recording runs (whose CPU model thinks in real cycles) are never
+warped while replay runs (whose modules are all reactive) are.
 """
 
 from __future__ import annotations
@@ -119,6 +145,26 @@ class Module:
             if sim is not None:
                 self._comb_scheduled = True
                 sim._pending.append(self)
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle this module's ``seq()`` must run.
+
+        ``None`` means "not until something external wakes the design";
+        returning ``cycle`` (or any past cycle) means "this cycle matters"
+        and blocks warping. The base implementation is never called — a
+        module that does not override it is *opaque* and disables
+        time-warping for the whole simulation.
+        """
+        return cycle
+
+    def on_warp(self, gap: int) -> None:
+        """Account for ``gap`` skipped quiescent cycles in one step.
+
+        Called on every sequential module when the kernel warps. Override
+        when ``seq()`` maintains per-cycle Python counters (busy-cycle
+        tallies, credit accumulators, countdowns) that the skipped cycles
+        would have advanced.
+        """
 
     # ------------------------------------------------------------------
     # elaboration

@@ -30,6 +30,29 @@ Select with the ``scheduler=`` argument, the ``REPRO_SIM_SCHEDULER``
 environment variable, or the ``Simulator.DEFAULT_SCHEDULER`` class
 attribute (argument > environment > class default).
 
+Time-warping (quiescent-gap skipping)
+-------------------------------------
+
+The event kernel's quiescent fast path still pays one Python iteration per
+simulated cycle. When every sequential module implements
+:meth:`~repro.sim.module.Module.next_wake` the kernel can do better:
+on a cycle that (a) has an empty work-list, (b) follows a *fully quiet*
+cycle — no settling, no register commits — and (c) has no cycle hooks
+registered, it polls every sequential module for the earliest cycle its
+``seq()`` could matter. If the earliest finite answer lies in the future,
+the cycle counter jumps straight there (``warped_cycles``/``warp_jumps``
+count the savings) after giving each module an
+:meth:`~repro.sim.module.Module.on_warp` catch-up call. The skipped
+cycles are provably no-ops: nothing combinational was pending, nothing
+was committed the cycle before, and every sequential process declared
+itself idle until the warp target.
+
+If *no* module reports a finite wake the kernel ticks normally — a fully
+idle design still advances one cycle per step, so the
+:class:`~repro.errors.WatchdogTimeout` deadlock detector keeps working.
+Disable warping with ``time_warp=False`` or ``REPRO_SIM_TIMEWARP=0``
+(the differential tests replay both ways and compare bit-for-bit).
+
 The simulator intentionally supports only a single clock domain: the paper's
 prototype likewise requires all recorded/replayed interfaces to share one
 clock (AWS F1 enforces this).
@@ -54,16 +77,20 @@ class Simulator:
     DEFAULT_SCHEDULER = "event"
 
     def __init__(self, name: str = "sim", max_delta: int = 64,
-                 scheduler: Optional[str] = None):
+                 scheduler: Optional[str] = None,
+                 time_warp: Optional[bool] = None):
         if scheduler is None:
             scheduler = os.environ.get("REPRO_SIM_SCHEDULER") \
                 or self.DEFAULT_SCHEDULER
         if scheduler not in _SCHEDULERS:
             raise SimulationError(
                 f"unknown scheduler {scheduler!r}; expected one of {_SCHEDULERS}")
+        if time_warp is None:
+            time_warp = os.environ.get("REPRO_SIM_TIMEWARP", "1") != "0"
         self.name = name
         self.max_delta = max_delta
         self.scheduler = scheduler
+        self.time_warp = bool(time_warp)
         self.cycle = 0
         self.modules: List[Module] = []
         self._comb_modules: List[Module] = []
@@ -78,10 +105,19 @@ class Simulator:
         self._event_mode = scheduler == "event"
         self._cycle_hooks: List[Callable[[int], None]] = []
         self._profile: Optional[Dict[str, list]] = None
+        # Time-warp state: _warp_ok is frozen at elaboration (every seq
+        # module must override next_wake); _quiet_streak records that the
+        # previous executed cycle neither settled nor committed anything,
+        # which makes the *current* empty work-list trustworthy for warping.
+        self._warp_ok = False
+        self._warp_hooks: List[Module] = []
+        self._quiet_streak = False
         # Kernel counters (cheap; useful for the throughput bench and the
         # --profile report).
         self.comb_evals = 0
         self.quiescent_cycles = 0
+        self.warped_cycles = 0
+        self.warp_jumps = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -146,13 +182,28 @@ class Simulator:
                     sig._fanout.append(module)
         # Everything evaluates on the first cycle.
         self._pending = list(self._event_comb)
+        # Time-warp eligibility: every sequential module must declare its
+        # wake schedule; one opaque module disables warping for the whole
+        # design (safe default — recording runs never warp).
+        self._warp_ok = self.time_warp and all(
+            type(m).next_wake is not Module.next_wake
+            for m in self._seq_modules)
+        self._warp_hooks = [m for m in self._seq_modules
+                            if type(m).on_warp is not Module.on_warp]
         self._elaborated = True
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def step(self) -> None:
-        """Simulate one clock cycle."""
+    def step(self, warp_limit: Optional[int] = None) -> None:
+        """Simulate one clock cycle.
+
+        With time-warping enabled this may *represent* many cycles: when the
+        design is provably quiescent the cycle counter jumps ahead to the
+        earliest ``next_wake`` hint before the (single) executed cycle runs.
+        ``warp_limit`` caps the jump so that ``run(n)`` never overshoots its
+        window; the executed cycle always lies strictly below the limit.
+        """
         if not self._elaborated:
             self.elaborate()
         if not self._event_mode:
@@ -167,17 +218,50 @@ class Simulator:
                     pending.append(module)
         if pending or self._always_comb:
             self._settle()
+            settled = True
         else:
             self.quiescent_cycles += 1
+            settled = False
+            # --- time warp ---
+            # Only when the previous executed cycle was fully quiet: that
+            # one executed cycle gives polling seq() processes a chance to
+            # observe commits and shared-Python-state changes (coordinator
+            # bumps, queue appends) the hints cannot see.
+            if self._warp_ok and self._quiet_streak and not self._cycle_hooks:
+                cycle = self.cycle
+                target: Optional[int] = None
+                for module in self._seq_modules:
+                    hint = module.next_wake(cycle)
+                    if hint is None:
+                        continue
+                    if hint <= cycle:
+                        target = None
+                        break
+                    if target is None or hint < target:
+                        target = hint
+                if target is not None:
+                    if warp_limit is not None and target > warp_limit - 1:
+                        target = warp_limit - 1
+                    gap = target - cycle
+                    if gap > 0:
+                        self.cycle = target
+                        self.warped_cycles += gap
+                        self.warp_jumps += 1
+                        for module in self._warp_hooks:
+                            module.on_warp(gap)
         # --- sequential phase ---
         for module in self._seq_modules:
             module.seq()
         # --- commit ---
         staged = self._staged
         if staged:
+            committed = True
             for sig in staged:
                 sig._commit()
             staged.clear()
+        else:
+            committed = False
+        self._quiet_streak = not settled and not committed
         self.cycle += 1
         for hook in self._cycle_hooks:
             hook(self.cycle)
@@ -235,10 +319,11 @@ class Simulator:
             hook(self.cycle)
 
     def run(self, cycles: int) -> None:
-        """Simulate a fixed number of cycles."""
+        """Simulate a fixed number of cycles (warp never overshoots the end)."""
         step = self.step
-        for _ in range(cycles):
-            step()
+        end = self.cycle + cycles
+        while self.cycle < end:
+            step(warp_limit=end)
 
     def run_until(
         self,
@@ -248,20 +333,23 @@ class Simulator:
     ) -> int:
         """Step until ``predicate()`` is true; return cycles consumed.
 
-        The predicate is evaluated exactly once per cycle boundary —
-        including the starting boundary (0 cycles consumed) and the final
+        The predicate is evaluated exactly once per executed cycle boundary
+        — including the starting boundary (0 cycles consumed) and the final
         one (true exactly at ``max_cycles`` succeeds); it is *not*
         re-evaluated on the timeout path. Raises
-        :class:`~repro.errors.WatchdogTimeout` after ``max_cycles`` steps
+        :class:`~repro.errors.WatchdogTimeout` after ``max_cycles`` cycles
         without the predicate holding — the reproduction's deadlock
-        detector.
+        detector. Warped gaps cannot change the predicate (nothing executes
+        inside them), so skipping their boundary evaluations is sound and
+        the consumed-cycle count stays bit-identical to per-cycle stepping.
         """
         start = self.cycle
         if predicate():
             return 0
         step = self.step
-        for _ in range(max_cycles):
-            step()
+        end = start + max_cycles
+        while self.cycle < end:
+            step(warp_limit=end)
             if predicate():
                 return self.cycle - start
         raise WatchdogTimeout(
@@ -283,6 +371,7 @@ class Simulator:
             sig._next = None   # belt and braces against partial reset_state()
         self._staged.clear()
         self._dirty = False
+        self._quiet_streak = False
         if self._elaborated and self.scheduler == "event":
             for module in self._event_comb:
                 module._comb_scheduled = True

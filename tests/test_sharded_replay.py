@@ -1,0 +1,122 @@
+"""Tests for checkpoint-sharded parallel replay."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core import compare_traces
+from repro.core.checkpoint import Checkpoint
+from repro.errors import ConfigError
+from repro.harness.runner import replay_run
+from repro.harness.sharded_replay import (
+    load_checkpoints,
+    plan_shards,
+    record_with_checkpoints,
+    replay_sharded,
+    save_checkpoints,
+)
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """One DRAM-DMA recording with harvested checkpoints plus its
+    sequential replay — the reference every sharded variant must match."""
+    spec = get_app("dram_dma")
+    metrics, checkpoints = record_with_checkpoints(spec, seed=5)
+    trace = metrics.result["trace"]
+    sequential = replay_run(spec, trace)
+    return spec, trace, checkpoints, sequential
+
+
+class TestRecordWithCheckpoints:
+    def test_harvests_quiescent_checkpoints(self, recorded):
+        _spec, trace, checkpoints, _seq = recorded
+        assert checkpoints
+        n = trace.packet_count
+        for ordinal, checkpoint in checkpoints.items():
+            assert 0 < ordinal <= n
+            assert checkpoint.cycle > 0
+            assert checkpoint.dram_words
+
+    def test_metrics_match_plain_record(self, recorded):
+        """The harvesting hook must not perturb the recorded execution."""
+        from repro.harness.runner import bench_config, record_run
+        from repro.core import VidiConfig
+
+        spec, trace, _checkpoints, _seq = recorded
+        plain = record_run(spec, bench_config(VidiConfig.r2), seed=5)
+        assert bytes(plain.result["trace"].body) == bytes(trace.body)
+
+
+class TestPlanShards:
+    CPS = {10: Checkpoint(cycle=1), 20: Checkpoint(cycle=2),
+           30: Checkpoint(cycle=3)}
+
+    def test_single_segment_needs_no_checkpoint(self):
+        assert plan_shards(40, self.CPS, 1) == [(0, 40, None)]
+
+    def test_even_split_picks_nearest_boundary(self):
+        plan = plan_shards(40, self.CPS, 2)
+        assert [(a, b) for a, b, _cp in plan] == [(0, 20), (20, 40)]
+        assert plan[1][2] is self.CPS[20]
+
+    def test_more_segments_than_candidates(self):
+        plan = plan_shards(40, self.CPS, 10)
+        bounds = [a for a, _b, _cp in plan]
+        assert bounds == [0, 10, 20, 30]
+
+    def test_bounds_cover_trace_and_increase(self):
+        plan = plan_shards(40, self.CPS, 3)
+        assert plan[0][0] == 0 and plan[-1][1] == 40
+        for (_a, b, _cp), (a2, _b2, _cp2) in zip(plan, plan[1:]):
+            assert b == a2
+
+    def test_no_checkpoints_degenerates_to_sequential(self):
+        assert plan_shards(40, {}, 4) == [(0, 40, None)]
+
+    def test_zero_segments_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_shards(40, self.CPS, 0)
+
+
+class TestShardedReplay:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_stitched_identical_to_sequential(self, recorded, jobs):
+        spec, trace, checkpoints, sequential = recorded
+        result = replay_sharded(spec, trace, checkpoints,
+                                segments=max(jobs, 2), jobs=jobs)
+        assert result.segments >= 2
+        reference = sequential.result["validation"]
+        assert bytes(result.validation.body) == bytes(reference.body)
+
+    def test_divergence_verdicts_identical(self, recorded):
+        spec, trace, checkpoints, sequential = recorded
+        result = replay_sharded(spec, trace, checkpoints, segments=3)
+        sharded_report = compare_traces(trace, result.validation)
+        reference_report = compare_traces(
+            trace, sequential.result["validation"])
+        assert [(d.kind, d.channel, d.occurrence, d.detail)
+                for d in sharded_report.divergences] == \
+            [(d.kind, d.channel, d.occurrence, d.detail)
+             for d in reference_report.divergences]
+
+    def test_segments_cut_replay_critical_path(self, recorded):
+        spec, trace, checkpoints, sequential = recorded
+        result = replay_sharded(spec, trace, checkpoints, segments=3)
+        assert result.segments == 3
+        assert result.critical_path_cycles < sequential.cycles
+
+    def test_per_cycle_shards_also_identical(self, recorded):
+        """Sharding composes with the warp switch in either position."""
+        spec, trace, checkpoints, sequential = recorded
+        result = replay_sharded(spec, trace, checkpoints, segments=2,
+                                time_warp=False)
+        assert bytes(result.validation.body) == \
+            bytes(sequential.result["validation"].body)
+
+
+class TestCheckpointSidecar:
+    def test_save_load_round_trip(self, recorded, tmp_path):
+        _spec, _trace, checkpoints, _seq = recorded
+        path = tmp_path / "trace.ckpt"
+        save_checkpoints(path, checkpoints)
+        assert load_checkpoints(path) == checkpoints

@@ -155,3 +155,51 @@ class TestPcieArbiter:
         assert arbiter.store_budget() == 0.0
         sim.step()
         assert arbiter.store_budget() == 22.0
+
+
+class TestFixedPointCredit:
+    """The drain credit is exact integer fixed-point (×CREDIT_SCALE)."""
+
+    def test_credit_stays_integral(self):
+        from repro.core.store import CREDIT_SCALE
+
+        sim, store = make_store(staging_bytes=256,
+                                bandwidth_bytes_per_cycle=0.3)
+        store.accept(b"\x11" * 16)
+        for _ in range(20):
+            sim.run(1)
+            assert isinstance(store._drain_credit, int)
+            assert 0 <= store._drain_credit
+        assert CREDIT_SCALE == 256
+
+    def test_drain_schedule_is_exact(self):
+        """0.25 B/cycle drains exactly one byte every fourth cycle."""
+        sim, store = make_store(staging_bytes=1024,
+                                bandwidth_bytes_per_cycle=0.25)
+        store.accept(b"\xEE" * 10)
+        drained = []
+        for _ in range(40):
+            sim.run(1)
+            drained.append(len(store.trace_bytes))
+        assert drained == [k // 4 for k in range(1, 41)]
+
+    def test_no_drift_over_long_runs(self):
+        """floor(k * bandwidth) bytes after k cycles, even for bandwidths
+        a float accumulator would drift on."""
+        sim, store = make_store(staging_bytes=4096,
+                                bandwidth_bytes_per_cycle=0.375)
+        store.accept(b"\xCD" * 1500)
+        for k in (100, 1000, 4000):
+            target = k - sim.cycle
+            sim.run(target)
+            expected = min(1500, (k * 96) // 256)   # 0.375 == 96/256 exactly
+            assert len(store.trace_bytes) == expected
+
+    def test_idle_credit_caps_at_burst_allowance(self):
+        """A long-idle store may burst at most 4 cycles' worth of credit."""
+        sim, store = make_store(staging_bytes=256,
+                                bandwidth_bytes_per_cycle=2.0)
+        sim.run(100)                    # idle: credit saturates at 4x2 bytes
+        store.accept(b"\x55" * 64)
+        sim.run(1)
+        assert len(store.trace_bytes) == 8 + 2   # cap + this cycle's accrual

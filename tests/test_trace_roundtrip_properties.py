@@ -1,0 +1,194 @@
+"""Property tests: the zero-copy trace datapath against reference encodings.
+
+Random channel tables, contents and validation payloads, checked three ways:
+
+* the staged ``serialize_into`` path is byte-identical to the seed
+  algorithm (bitvectors + binary-reduction-tree ``pack_contents`` joins);
+* the memoryview deserialize path round-trips every packet exactly;
+* the :class:`~repro.core.trace_file.TraceIndex` agrees with a sequential
+  scan, its slices are valid standalone bodies, and the one-pass compact
+  feeds match the legacy element-feed compilation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.contents_tree import pack_contents
+from repro.core.decoder import TraceDecoder
+from repro.core.events import ChannelInfo, ChannelTable
+from repro.core.packets import (
+    CyclePacket,
+    deserialize_packets,
+    serialize_packets,
+)
+from repro.core.replayer import compile_elements
+from repro.core.trace_file import TraceFile, TraceIndex
+
+
+def random_table(rng):
+    n = rng.randint(1, 12)
+    infos = [
+        ChannelInfo(
+            index=i,
+            name=f"iface.ch{i}",
+            direction=rng.choice(("in", "out")),
+            content_bytes=rng.randint(1, 9),
+            payload_bits=rng.randint(1, 64),
+        )
+        for i in range(n)
+    ]
+    return ChannelTable(infos)
+
+
+def random_bytes(rng, length):
+    return bytes(rng.getrandbits(8) for _ in range(length))
+
+
+def random_packet(rng, table, with_validation):
+    """A non-empty cycle packet respecting the table's directions."""
+    while True:
+        starts = 0
+        contents = {}
+        for i in table.input_indices:
+            if rng.random() < 0.4:
+                starts |= 1 << i
+                contents[i] = random_bytes(rng, table[i].content_bytes)
+        ends = 0
+        validation = {}
+        for i in range(table.n):
+            if rng.random() < 0.4:
+                ends |= 1 << i
+                if with_validation and not table.is_input(i):
+                    validation[i] = random_bytes(rng, table[i].content_bytes)
+        if starts or ends:
+            return CyclePacket(starts=starts, ends=ends, contents=contents,
+                               validation=validation)
+
+
+def random_trace(rng, with_validation):
+    table = random_table(rng)
+    packets = [random_packet(rng, table, with_validation)
+               for _ in range(rng.randint(1, 40))]
+    body = serialize_packets(packets, table, with_validation)
+    return table, packets, body
+
+
+def reference_serialize(packet, table, with_validation):
+    """The seed encoder's algorithm: bitvectors + reduction-tree joins."""
+    out = packet.starts.to_bytes(table.bitvec_bytes, "little")
+    out += packet.ends.to_bytes(table.bitvec_bytes, "little")
+    out += pack_contents(packet.contents.items())
+    if with_validation:
+        out += pack_contents(packet.validation.items())
+    return out
+
+
+SEEDS = list(range(8))
+
+
+class TestSerializationEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("with_validation", [True, False])
+    def test_staged_path_matches_reference(self, seed, with_validation):
+        rng = random.Random(seed)
+        table, packets, body = random_trace(rng, with_validation)
+        reference = b"".join(
+            reference_serialize(p, table, with_validation) for p in packets)
+        assert body == reference
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_serialize_into_appends(self, seed):
+        """serialize_into extends the caller's buffer without clearing it."""
+        rng = random.Random(seed)
+        table, packets, _body = random_trace(rng, True)
+        stage = bytearray(b"prefix")
+        packets[0].serialize_into(stage, table, True)
+        assert bytes(stage) == b"prefix" + packets[0].serialize(table, True)
+
+
+class TestDeserializationRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("with_validation", [True, False])
+    def test_round_trip(self, seed, with_validation):
+        rng = random.Random(seed)
+        table, packets, body = random_trace(rng, with_validation)
+        decoded = deserialize_packets(body, table, with_validation)
+        assert decoded == packets
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_memoryview_slice_of_larger_buffer(self, seed):
+        """Decoding must not assume the body starts at the buffer origin."""
+        rng = random.Random(seed)
+        table, packets, body = random_trace(rng, True)
+        padded = memoryview(b"\xAA" * 7 + body + b"\xBB" * 3)
+        view = padded[7:7 + len(body)]
+        offset = 0
+        decoded = []
+        while offset < len(view):
+            packet, offset = CyclePacket.deserialize(view, offset, table, True)
+            decoded.append(packet)
+        assert decoded == packets
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_iter_packets_matches_packets(self, seed):
+        rng = random.Random(seed)
+        table, packets, body = random_trace(rng, True)
+        trace = TraceFile(table=table, body=body, with_validation=True)
+        assert list(trace.iter_packets()) == trace.packets() == packets
+
+
+class TestTraceIndex:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("with_validation", [True, False])
+    def test_offsets_match_sequential_scan(self, seed, with_validation):
+        rng = random.Random(seed)
+        table, packets, body = random_trace(rng, with_validation)
+        index = TraceIndex(body, table, with_validation)
+        assert len(index) == len(packets)
+        view = memoryview(body)
+        offset = 0
+        for ordinal in range(len(packets)):
+            assert index.offset_of(ordinal) == offset
+            _packet, offset = CyclePacket.deserialize(
+                view, offset, table, with_validation)
+        assert index.offset_of(len(packets)) == len(body) == index.end
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_packet_at_random_ordinals(self, seed):
+        rng = random.Random(seed)
+        table, packets, body = random_trace(rng, True)
+        index = TraceIndex(body, table, True)
+        for _ in range(10):
+            ordinal = rng.randrange(len(packets))
+            assert index.packet_at(ordinal) == packets[ordinal]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_slices_are_standalone_bodies(self, seed):
+        rng = random.Random(seed)
+        table, packets, body = random_trace(rng, True)
+        index = TraceIndex(body, table, True)
+        n = len(packets)
+        cuts = sorted({0, n, rng.randint(0, n), rng.randint(0, n)})
+        assert b"".join(index.slice(a, b)
+                        for a, b in zip(cuts, cuts[1:])) == body
+        for a, b in zip(cuts, cuts[1:]):
+            assert deserialize_packets(index.slice(a, b), table, True) \
+                == packets[a:b]
+
+
+class TestCompactFeeds:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("with_validation", [True, False])
+    def test_one_pass_feeds_match_legacy_compilation(self, seed,
+                                                     with_validation):
+        rng = random.Random(seed)
+        table, packets, body = random_trace(rng, with_validation)
+        decoder = TraceDecoder(table, with_validation=with_validation)
+        feeds = decoder.compact_feeds(body)
+        assert [feed.index for feed in feeds] == list(range(table.n))
+        for i, feed in enumerate(feeds):
+            direction = table[i].direction
+            assert feed.direction == direction
+            legacy = decoder.channel_feed(packets, i)
+            assert feed.actions == compile_elements(legacy, direction, table.n)
