@@ -1,14 +1,19 @@
 # Development entry points. `make check` is the pre-merge gate: the full
-# tier-1 test suite plus the throughput benches (which enforce the
+# tier-1 test suite, the throughput benches (which enforce the
 # event-scheduler and time-warp speedup floors and refresh
-# BENCH_kernel.json / BENCH_replay.json).
+# BENCH_kernel.json / BENCH_replay.json), and the fault campaign (200
+# seeded faults across every kind; fails on any silent wrong-accept).
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 
-.PHONY: check test bench-kernel bench-replay bench artifacts
+.PHONY: check test bench-kernel bench-replay bench artifacts faults
 
-check: test bench-kernel bench-replay
+check: test bench-kernel bench-replay faults
+
+faults:          ## seeded 200-fault injection campaign (containment gate)
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+	  $(PYTHON) -m repro.harness campaign --faults 200 --seed 0
 
 test:            ## tier-1: the full unit/integration suite
 	$(PYTEST) -x -q

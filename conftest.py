@@ -7,8 +7,67 @@ are unavailable offline.
 """
 
 import os
+import signal
 import sys
+
+import pytest
 
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# ----------------------------------------------------------------------
+# per-test timeout guard
+# ----------------------------------------------------------------------
+#
+# The fault-injection suite deliberately drives replay toward livelock; a
+# regression in the progress watchdog would otherwise hang the whole run.
+# When the ``pytest-timeout`` plugin is installed it owns this job; on the
+# bare interpreters CI uses we fall back to a SIGALRM alarm around each
+# test (main thread only, POSIX only — exactly where CI runs).
+
+DEFAULT_TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+_HAVE_PYTEST_TIMEOUT = False
+try:
+    import pytest_timeout  # noqa: F401  (presence check only)
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    pass
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than this "
+        "(SIGALRM fallback when pytest-timeout is not installed)")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        not _HAVE_PYTEST_TIMEOUT
+        and DEFAULT_TEST_TIMEOUT_S > 0
+        and hasattr(signal, "SIGALRM")
+    )
+    if not use_alarm:
+        yield
+        return
+    seconds = DEFAULT_TEST_TIMEOUT_S
+    marker = item.get_closest_marker("timeout")
+    if marker and marker.args:
+        seconds = int(marker.args[0])
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {seconds}s per-test guard "
+            "(REPRO_TEST_TIMEOUT to adjust)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -104,8 +104,15 @@ def _output_end_records(trace: TraceFile,
     return records
 
 
-def compare_traces(reference: TraceFile, validation: TraceFile) -> DivergenceReport:
-    """Compare a reference (R2) trace against a validation (R3) trace."""
+def compare_traces(reference: TraceFile, validation: TraceFile,
+                   prefix: bool = False) -> DivergenceReport:
+    """Compare a reference (R2) trace against a validation (R3) trace.
+
+    With ``prefix=True`` the comparison covers only the transactions both
+    traces contain per channel and count mismatches are not reported — the
+    mode salvage triage uses to check that replaying a crash-recovered
+    prefix trace reproduces a prefix of the *full* original recording.
+    """
     if reference.table.to_dict() != validation.table.to_dict():
         raise ConfigError("traces come from different channel tables")
     if not reference.with_validation or not validation.with_validation:
@@ -122,7 +129,7 @@ def compare_traces(reference: TraceFile, validation: TraceFile) -> DivergenceRep
         name = table[ch].name
         ref = ref_records[ch]
         val = val_records[ch]
-        if len(ref) != len(val):
+        if len(ref) != len(val) and not prefix:
             divergences.append(Divergence(
                 kind="count", channel=name, occurrence=min(len(ref), len(val)),
                 detail=f"recorded {len(ref)} transactions, replayed {len(val)}"))

@@ -69,6 +69,12 @@ class ChannelMonitor(Module):
         self._committed = False   # start logged (input) / end slot reserved (output)
         self.transactions = 0
         self.stalled_cycles = 0   # cycles a sender waited on back-pressure
+        # Fault-injection hook (repro.faults): while set, the monitor
+        # refuses to present *new* transactions downstream — exactly the
+        # shape of encoder-grant back-pressure, so an in-flight (committed)
+        # transaction always completes and the handshake protocol holds.
+        # Whoever toggles it must wake() the monitor.
+        self.fault_stalled = False
         self.sensitive_to(up.valid, up.payload, down.ready)
 
     @property
@@ -91,6 +97,8 @@ class ChannelMonitor(Module):
             present = up.valid.value and (self._committed or self.encoder.grant())
         else:
             present = up.valid.value
+        if present and self.fault_stalled and not self._committed:
+            present = 0   # injected stall: gate new transactions only
         if present:
             down.valid.drive(1)
             down.payload.drive(up.payload.value)
@@ -147,3 +155,4 @@ class ChannelMonitor(Module):
         self._committed = False
         self.transactions = 0
         self.stalled_cycles = 0
+        self.fault_stalled = False

@@ -136,10 +136,67 @@ class TraceMutator:
         return None
 
     def build(self, metadata: Optional[dict] = None) -> TraceFile:
-        """Serialize the mutated packets into a new trace."""
+        """Serialize the mutated packets into a new trace.
+
+        The result is an ordinary :class:`TraceFile`: serializing it (v2)
+        computes fresh CRC32 frames over the *mutated* content, so a
+        semantic mutation always yields a self-consistent container —
+        mutants are distinguishable from corruption, which breaks the
+        frames (see :func:`corrupt_frame`).
+        """
         meta = dict(self.trace.metadata)
         meta.update(metadata or {})
         meta["mutated"] = True
         return TraceFile.from_packets(
             self.table, self.packets,
             with_validation=self.trace.with_validation, metadata=meta)
+
+
+# ----------------------------------------------------------------------
+# frame-level (anti-)mutation: break the container instead of the events
+# ----------------------------------------------------------------------
+
+FRAME_REGIONS = ("magic", "length", "header", "body", "footer")
+"""The v2 container regions :func:`corrupt_frame` can target."""
+
+
+def corrupt_frame(blob: bytes, rng, region: Optional[str] = None
+                  ) -> Tuple[str, bytes]:
+    """Flip one random bit of a v2 container *without* fixing its CRCs.
+
+    The dual of :class:`TraceMutator`: where semantic mutations re-frame
+    cleanly, this damages the frame itself — magic, declared lengths,
+    CRC-protected header/body bytes, or the footer (body length + CRC).
+    Returns ``(description, damaged blob)``. Every such mutant must be
+    *rejected* by :meth:`TraceFile.from_bytes`; one that loads silently
+    is a framing hole (the property ``tools/fuzz.fuzz_frames`` checks).
+    """
+    from repro.core.trace_file import _MAGIC_V2, _FOOTER_V2, _PREAMBLE_V2
+
+    if len(blob) < _PREAMBLE_V2 + _FOOTER_V2 or \
+            bytes(blob[:8]) != _MAGIC_V2:
+        raise ConfigError("corrupt_frame() needs a serialized v2 container")
+    header_len = int.from_bytes(blob[8:16], "little")
+    header_end = _PREAMBLE_V2 + header_len
+    spans = {
+        "magic": (0, 8),
+        "length": (8, _PREAMBLE_V2),                 # header_len + header CRC
+        "header": (_PREAMBLE_V2, header_end),
+        "body": (header_end, max(header_end + 1, len(blob) - _FOOTER_V2)),
+        "footer": (len(blob) - _FOOTER_V2, len(blob)),
+    }
+    if region is None:
+        region = rng.choice(FRAME_REGIONS)
+    if region not in spans:
+        raise ConfigError(f"unknown frame region {region!r} "
+                          f"(one of {', '.join(FRAME_REGIONS)})")
+    lo, hi = spans[region]
+    hi = min(hi, len(blob))
+    if hi <= lo:
+        lo, hi = 0, len(blob)       # degenerate trace: anywhere will do
+    position = rng.randrange(lo, hi)
+    bit = rng.randrange(8)
+    damaged = bytearray(blob)
+    damaged[position] ^= 1 << bit
+    return (f"corrupt-frame {region}: bit {bit} of byte {position}",
+            bytes(damaged))

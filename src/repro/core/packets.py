@@ -170,3 +170,31 @@ def deserialize_packets(blob: bytes, table: ChannelTable,
                                                  with_validation)
         packets.append(packet)
     return packets
+
+
+def scan_packet_prefix(blob: "bytes | memoryview", table: ChannelTable,
+                       with_validation: bool) -> Tuple[int, int]:
+    """Length of the longest decodable packet prefix of ``blob``.
+
+    Returns ``(n_packets, n_bytes)``: the count of cycle packets that parse
+    cleanly from offset 0 and the byte offset where the first undecodable
+    packet (truncation, output-start bit, empty packet, content overrun)
+    begins. A fully valid body returns ``(packet_count, len(blob))``.
+
+    This is the salvage primitive: a trace whose body was cut short by a
+    crash mid-recording — or corrupted from some point onward — still
+    yields a loadable, replayable prefix trace.
+    """
+    view = memoryview(blob)
+    size = len(view)
+    offset = 0
+    count = 0
+    while offset < size:
+        try:
+            _, next_offset = CyclePacket.deserialize(view, offset, table,
+                                                     with_validation)
+        except TraceFormatError:
+            break
+        offset = next_offset
+        count += 1
+    return count, offset

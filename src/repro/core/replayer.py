@@ -42,11 +42,17 @@ class ReplayCoordinator:
     def __init__(self, n_channels: int):
         self.current = VectorClock(n_channels)
         self.version = 0  # bumped on every completion; lets replayers cache
+        # Cycle of the most recent completion broadcast (None before the
+        # first). The replay progress watchdog reads this to pin down where
+        # a livelocked replay last made forward progress.
+        self.last_progress_cycle: Optional[int] = None
 
-    def complete(self, index: int) -> None:
+    def complete(self, index: int, cycle: Optional[int] = None) -> None:
         """Broadcast that one more transaction finished on ``index``."""
         self.current.increment(index)
         self.version += 1
+        if cycle is not None:
+            self.last_progress_cycle = cycle
 
 
 def compile_elements(feed: Sequence[ReplayElement], direction: str,
@@ -155,7 +161,9 @@ class ChannelReplayer(Module):
                     )
                 self.validation_contents.append(channel.payload_bytes())
             self.replayed_transactions += 1
-            self.coordinator.complete(self.index)
+            self.coordinator.complete(
+                self.index,
+                self._sim.cycle if self._sim is not None else None)
             self.wake()   # _current/_ready_credits changed
         # 2. Consume as many actions as the vector clocks allow.
         actions = self.actions
@@ -179,6 +187,45 @@ class ChannelReplayer(Module):
         # broadcast is always made on a cycle with channel activity, which
         # blocks warping until the cycle after we have observed it.
         return None
+
+    # ------------------------------------------------------------------
+    def pending_report(self, channel_names: Optional[Sequence[str]] = None
+                       ) -> dict:
+        """Structured stall diagnostics for this replayer.
+
+        Consumed by :meth:`~repro.core.shim.VidiShim.stall_report` when the
+        replay progress watchdog fires: which action the replayer is stuck
+        on, the ``T_expected`` prerequisite it is gated behind, and — when
+        ``channel_names`` is given — exactly which channels have completed
+        fewer transactions than that prerequisite demands.
+        """
+        report = {
+            "channel": self.name,
+            "index": self.index,
+            "direction": self.direction,
+            "actions_consumed": self._action_pos,
+            "actions_total": len(self.actions),
+            "replayed_transactions": self.replayed_transactions,
+            "done": self.done,
+        }
+        if self.direction == "in":
+            report["in_flight"] = self._current is not None
+            report["pending_contents"] = len(self._pending_contents)
+        else:
+            report["ready_credits"] = self._ready_credits
+        if self._action_pos < len(self.actions):
+            expected = self.actions[self._action_pos].expected
+            report["next_expected"] = expected.as_tuple()
+            current = self.coordinator.current
+            waiting = [i for i in range(len(current))
+                       if current[i] < expected[i]]
+            if channel_names is not None:
+                report["waiting_on"] = [
+                    f"{channel_names[i]} (has {current[i]}, needs "
+                    f"{expected[i]})" for i in waiting]
+            else:
+                report["waiting_on"] = waiting
+        return report
 
     # ------------------------------------------------------------------
     def _clocks_satisfied(self, expected: VectorClock) -> bool:

@@ -236,6 +236,36 @@ class VidiShim(Module):
         """All replayers consumed their feeds and have nothing in flight."""
         return all(r.done for r in self.replayers)
 
+    def progress_token(self) -> int:
+        """Monotone token that changes whenever replay makes progress.
+
+        The coordinator's version counts completion broadcasts — the only
+        events that can unblock a vector-clock-gated action — so an
+        unchanged token across a watchdog window means the replay is
+        livelocked, not slow.
+        """
+        if self.coordinator is None:
+            raise ConfigError("progress_token() requires a replay configuration")
+        return self.coordinator.version
+
+    def stall_report(self) -> dict:
+        """Structured livelock diagnostics across all replayers.
+
+        Returns ``current_clock`` (the shared ``T_current``),
+        ``last_progress_cycle`` and one :meth:`ChannelReplayer.pending_report`
+        per *unfinished* replayer — everything a
+        :class:`~repro.errors.ReplayStallError` carries.
+        """
+        if self.coordinator is None:
+            raise ConfigError("stall_report() requires a replay configuration")
+        names = [self.table[i].name for i in range(self.table.n)]
+        return {
+            "current_clock": self.coordinator.current.as_tuple(),
+            "last_progress_cycle": self.coordinator.last_progress_cycle,
+            "channels": [r.pending_report(names) for r in self.replayers
+                         if not r.done],
+        }
+
     def recorded_trace(self, metadata: Optional[dict] = None) -> TraceFile:
         """Finalize and return the trace recorded under R2 (or the R3
         validation trace)."""

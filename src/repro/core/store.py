@@ -77,6 +77,11 @@ class TraceStore(Module):
         self.data = bytearray()          # external storage (host DRAM model)
         self.total_packet_bytes = 0      # exact encoded trace length
         self.stall_cycles = 0            # cycles spent with staging full
+        # Fault-injection hooks (repro.faults): an attached injector may
+        # corrupt external storage words at flush time, and a brownout
+        # fault scales the effective drain bandwidth while active.
+        self.faults = None
+        self.fault_bandwidth_factor = 1.0
 
     # ------------------------------------------------------------------
     @property
@@ -97,7 +102,7 @@ class TraceStore(Module):
 
     # ------------------------------------------------------------------
     def seq(self) -> None:
-        bandwidth = self.bandwidth
+        bandwidth = self.bandwidth * self.fault_bandwidth_factor
         if self.arbiter is not None:
             bandwidth = min(bandwidth, self.arbiter.store_budget())
         bw_fp = round(bandwidth * CREDIT_SCALE)
@@ -160,6 +165,13 @@ class TraceStore(Module):
         self._staged.clear()
         self._staged_bytes = 0
         self._head_offset = 0
+        if self.faults is not None:
+            # Storage-at-rest corruption happens *after* the drain: the
+            # words were written correctly and rotted in external memory
+            # before the container (and its CRCs) was assembled, so only
+            # the semantic nets — packet decoding, replay protocol checks,
+            # divergence detection — can catch it, never the frame CRCs.
+            self.faults.corrupt_storage(self.data)
 
     @property
     def trace_bytes(self) -> bytes:
@@ -185,3 +197,4 @@ class TraceStore(Module):
         self.data = bytearray()
         self.total_packet_bytes = 0
         self.stall_cycles = 0
+        self.fault_bandwidth_factor = 1.0

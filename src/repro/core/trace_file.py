@@ -11,6 +11,7 @@ seed, run configuration).
 from __future__ import annotations
 
 import json
+import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -18,10 +19,20 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.events import ChannelTable
 from repro.core.packets import (CyclePacket, deserialize_packets, iter_bits,
-                                serialize_packets)
-from repro.errors import TraceFormatError
+                                scan_packet_prefix, serialize_packets)
+from repro.errors import TraceFormatError, TraceIntegrityError
 
 _MAGIC = b"VIDITRC1"
+_MAGIC_V2 = b"VIDITRC2"
+# v2 container framing (docs/TRACE_FORMAT.md): magic(8) + header_len(8) +
+# header_crc32(4) + header + body + footer[body_len(8) + body_crc32(4)].
+# Header and body are independently CRC32-framed so any at-rest corruption
+# is caught before bytes reach the decoder; the footer trails the body so a
+# streaming writer can append packets without knowing the final length —
+# a crash before the footer lands leaves a salvageable prefix.
+_PREAMBLE_V2 = 8 + 8 + 4
+_FOOTER_V2 = 8 + 4
+DEFAULT_FORMAT_VERSION = 2
 
 
 class TraceIndex:
@@ -96,8 +107,14 @@ class TraceFile:
     body: bytes
     with_validation: bool = True
     metadata: Dict[str, Any] = field(default_factory=dict)
+    format_version: int = field(default=DEFAULT_FORMAT_VERSION, compare=False)
     _index: Optional[TraceIndex] = field(
         default=None, init=False, repr=False, compare=False)
+
+    @property
+    def salvaged(self) -> bool:
+        """True when this trace is a salvage-recovered prefix."""
+        return "salvaged" in self.metadata
 
     # ------------------------------------------------------------------
     @property
@@ -143,69 +160,296 @@ class TraceFile:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def to_bytes(self, compress: bool = False) -> bytes:
+    def _header_bytes(self, compress: bool) -> bytes:
+        return json.dumps({
+            "channels": self.table.to_dict(),
+            "with_validation": self.with_validation,
+            "metadata": self.metadata,
+            "compressed": compress,
+        }).encode("utf-8")
+
+    def to_bytes(self, compress: bool = False,
+                 version: int = DEFAULT_FORMAT_VERSION) -> bytes:
         """Serialize the whole trace (header + body) for storage.
+
+        ``version=2`` (the default) produces the CRC32-framed container —
+        any flipped or missing byte fails loudly at load time instead of
+        reaching the decoder. ``version=1`` writes the legacy unframed
+        layout for older readers; both load back with :meth:`from_bytes`.
 
         ``compress=True`` additionally DEFLATEs the packet body — useful
         for archiving traces offline; the on-FPGA format (what the TS
         column of Table 1 measures) stays uncompressed.
         """
         body = zlib.compress(self.body, level=6) if compress else self.body
-        header = json.dumps({
-            "channels": self.table.to_dict(),
-            "with_validation": self.with_validation,
-            "metadata": self.metadata,
-            "compressed": compress,
-        }).encode("utf-8")
+        header = self._header_bytes(compress)
+        if version == 1:
+            return b"".join([
+                _MAGIC,
+                len(header).to_bytes(8, "little"),
+                header,
+                len(body).to_bytes(8, "little"),
+                body,
+            ])
+        if version != 2:
+            raise TraceFormatError(f"unknown trace format version {version}")
         return b"".join([
-            _MAGIC,
+            _MAGIC_V2,
             len(header).to_bytes(8, "little"),
+            zlib.crc32(header).to_bytes(4, "little"),
             header,
-            len(body).to_bytes(8, "little"),
             body,
+            len(body).to_bytes(8, "little"),
+            zlib.crc32(bytes(body)).to_bytes(4, "little"),
         ])
 
-    @classmethod
-    def from_bytes(cls, blob: bytes) -> "TraceFile":
-        """Parse a serialized trace; validates magic and framing."""
-        if blob[:8] != _MAGIC:
-            raise TraceFormatError("not a Vidi trace (bad magic)")
-        cursor = 8
-        header_len = int.from_bytes(blob[cursor:cursor + 8], "little")
-        cursor += 8
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_header(header_bytes: bytes) -> tuple:
         try:
-            header = json.loads(blob[cursor:cursor + header_len])
+            header = json.loads(header_bytes)
         except ValueError as exc:
             raise TraceFormatError(f"corrupt trace header: {exc}") from exc
+        try:
+            table = ChannelTable.from_dict(header["channels"])
+            with_validation = bool(header["with_validation"])
+            metadata = header.get("metadata", {})
+            compressed = bool(header.get("compressed"))
+        except Exception as exc:   # mutated-but-valid JSON headers
+            raise TraceFormatError(f"corrupt trace header: {exc}") from exc
+        return table, with_validation, metadata, compressed
+
+    @staticmethod
+    def _decompress(body: "bytes | memoryview") -> bytes:
+        try:
+            return zlib.decompress(bytes(body))
+        except zlib.error as exc:
+            raise TraceFormatError(f"corrupt compressed body: {exc}") from exc
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, salvage: bool = False) -> "TraceFile":
+        """Parse a serialized trace; validates magic, framing and (v2) CRCs.
+
+        With ``salvage=True`` a v2 blob whose *body* segment is damaged —
+        truncated mid-recording, missing its footer, or failing its CRC —
+        is recovered as the longest decodable packet prefix instead of
+        raising; the result carries a ``metadata['salvaged']`` record with
+        the recovered/dropped byte counts. The header segment must still be
+        intact (without the channel table nothing can be interpreted), and
+        v1 blobs have no redundancy to salvage with.
+        """
+        if len(blob) < 8:
+            raise TraceFormatError(
+                f"blob of {len(blob)} bytes is too short for a trace magic")
+        magic = bytes(blob[:8])
+        if magic == _MAGIC_V2:
+            return cls._from_bytes_v2(blob, salvage)
+        if magic == _MAGIC:
+            return cls._from_bytes_v1(blob)
+        raise TraceFormatError("not a Vidi trace (bad magic)")
+
+    @classmethod
+    def _from_bytes_v1(cls, blob: bytes) -> "TraceFile":
+        if len(blob) < 16:
+            raise TraceFormatError("trace truncated inside the v1 preamble")
+        header_len = int.from_bytes(blob[8:16], "little")
+        cursor = 16
+        if cursor + header_len > len(blob):
+            raise TraceFormatError(
+                f"trace header truncated: {header_len} bytes declared, "
+                f"{len(blob) - cursor} available")
+        table, with_validation, metadata, compressed = cls._parse_header(
+            blob[cursor:cursor + header_len])
         cursor += header_len
+        if cursor + 8 > len(blob):
+            raise TraceFormatError("trace truncated before the body length")
         body_len = int.from_bytes(blob[cursor:cursor + 8], "little")
         cursor += 8
         body = blob[cursor:cursor + body_len]
         if len(body) != body_len:
             raise TraceFormatError("trace body truncated")
-        if header.get("compressed"):
-            try:
-                body = zlib.decompress(bytes(body))
-            except zlib.error as exc:
-                raise TraceFormatError(f"corrupt compressed body: {exc}") from exc
-        try:
-            table = ChannelTable.from_dict(header["channels"])
-            with_validation = bool(header["with_validation"])
-            metadata = header.get("metadata", {})
-        except Exception as exc:   # mutated-but-valid JSON headers
-            raise TraceFormatError(f"corrupt trace header: {exc}") from exc
-        return cls(
-            table=table,
-            body=bytes(body),
-            with_validation=with_validation,
-            metadata=metadata,
-        )
-
-    def save(self, path: str | Path, compress: bool = False) -> None:
-        """Write the trace to disk (optionally DEFLATE-compressed)."""
-        Path(path).write_bytes(self.to_bytes(compress=compress))
+        if cursor + body_len != len(blob):
+            raise TraceFormatError(
+                f"{len(blob) - cursor - body_len} trailing byte(s) after "
+                "the trace body")
+        if compressed:
+            body = cls._decompress(body)
+        return cls(table=table, body=bytes(body),
+                   with_validation=with_validation, metadata=metadata,
+                   format_version=1)
 
     @classmethod
-    def load(cls, path: str | Path) -> "TraceFile":
-        """Read a trace from disk."""
-        return cls.from_bytes(Path(path).read_bytes())
+    def _from_bytes_v2(cls, blob: bytes, salvage: bool) -> "TraceFile":
+        if len(blob) < _PREAMBLE_V2:
+            raise TraceFormatError("trace truncated inside the v2 preamble")
+        header_len = int.from_bytes(blob[8:16], "little")
+        header_crc = int.from_bytes(blob[16:20], "little")
+        header_end = _PREAMBLE_V2 + header_len
+        if header_end > len(blob):
+            raise TraceFormatError(
+                f"trace header truncated: {header_len} bytes declared, "
+                f"{len(blob) - _PREAMBLE_V2} available")
+        header_bytes = bytes(blob[_PREAMBLE_V2:header_end])
+        if zlib.crc32(header_bytes) != header_crc:
+            raise TraceIntegrityError("trace header CRC32 mismatch")
+        table, with_validation, metadata, compressed = cls._parse_header(
+            header_bytes)
+        rest = memoryview(blob)[header_end:]
+        damage: Optional[str] = None
+        body: "bytes | memoryview" = b""
+        if len(rest) < _FOOTER_V2:
+            damage = "footer missing (crash before finalize?)"
+        else:
+            body_len = int.from_bytes(rest[-12:-4], "little")
+            body_crc = int.from_bytes(rest[-4:], "little")
+            body = rest[:-_FOOTER_V2]
+            if body_len != len(body):
+                damage = (f"body length mismatch: footer says {body_len}, "
+                          f"{len(body)} present (truncation or trailing "
+                          "garbage)")
+            elif zlib.crc32(bytes(body)) != body_crc:
+                damage = "body CRC32 mismatch"
+        if damage is None:
+            if compressed:
+                body = cls._decompress(body)
+            return cls(table=table, body=bytes(body),
+                       with_validation=with_validation, metadata=metadata,
+                       format_version=2)
+        if not salvage:
+            raise TraceIntegrityError(f"corrupt trace body: {damage}")
+        # Salvage: recover the longest decodable packet prefix. When the
+        # footer framing is consistent the damage is interior corruption and
+        # the scan region is the body proper; otherwise (truncation, missing
+        # footer) the trailing bytes may themselves be packet data, so scan
+        # everything after the header.
+        region = body if (len(rest) >= _FOOTER_V2
+                          and len(body) == int.from_bytes(rest[-12:-4],
+                                                          "little")) else rest
+        if compressed:
+            # DEFLATE has no packet alignment to resynchronise on; a partial
+            # stream either inflates or it does not.
+            try:
+                region = zlib.decompress(bytes(region))
+            except zlib.error as exc:
+                raise TraceIntegrityError(
+                    f"cannot salvage a corrupt compressed body: {exc}"
+                ) from exc
+        packets, good_bytes = scan_packet_prefix(region, table,
+                                                 with_validation)
+        metadata = dict(metadata)
+        metadata["salvaged"] = {
+            "reason": damage,
+            "packets": packets,
+            "bytes": good_bytes,
+            "dropped_bytes": len(region) - good_bytes,
+        }
+        return cls(table=table, body=bytes(region[:good_bytes]),
+                   with_validation=with_validation, metadata=metadata,
+                   format_version=2)
+
+    def save(self, path: str | Path, compress: bool = False,
+             version: int = DEFAULT_FORMAT_VERSION) -> None:
+        """Write the trace to disk (optionally DEFLATE-compressed)."""
+        Path(path).write_bytes(self.to_bytes(compress=compress,
+                                             version=version))
+
+    @classmethod
+    def load(cls, path: str | Path, salvage: bool = False) -> "TraceFile":
+        """Read a trace from disk (``salvage=True``: recover a damaged v2
+        body as its longest valid packet prefix)."""
+        return cls.from_bytes(Path(path).read_bytes(), salvage=salvage)
+
+
+class TraceWriter:
+    """Streaming, crash-safe trace writer (v2 container only).
+
+    Recording pipelines that persist as they go cannot hold the whole body
+    in memory to compute lengths up front — and a crash mid-recording must
+    not destroy the usable prefix. The writer therefore:
+
+    1. writes the CRC-framed header immediately (channel table and metadata
+       are known at recording start),
+    2. appends raw body chunks (or whole packets) as the store drains them,
+    3. on :meth:`close`, appends the ``body_len + body CRC32`` footer,
+       fsyncs, and atomically renames ``<path>.part`` onto ``<path>``.
+
+    A crash at any earlier point leaves only the ``.part`` file: its header
+    is intact and its body is a packet prefix (possibly with a torn tail
+    packet), which ``TraceFile.load(part_path, salvage=True)`` recovers —
+    the availability guarantee for replay starting points.
+    """
+
+    def __init__(self, path: str | Path, table: ChannelTable,
+                 with_validation: bool = True,
+                 metadata: Optional[Dict[str, Any]] = None):
+        self.path = Path(path)
+        self.part_path = self.path.with_name(self.path.name + ".part")
+        self.table = table
+        self.with_validation = with_validation
+        self.metadata = dict(metadata or {})
+        self._crc = 0
+        self._body_len = 0
+        self._closed = False
+        header = json.dumps({
+            "channels": table.to_dict(),
+            "with_validation": with_validation,
+            "metadata": self.metadata,
+            "compressed": False,
+        }).encode("utf-8")
+        self._fh = open(self.part_path, "wb")
+        try:
+            self._fh.write(_MAGIC_V2)
+            self._fh.write(len(header).to_bytes(8, "little"))
+            self._fh.write(zlib.crc32(header).to_bytes(4, "little"))
+            self._fh.write(header)
+            self._fh.flush()
+        except BaseException:
+            self._fh.close()
+            raise
+
+    def append(self, chunk: "bytes | memoryview") -> None:
+        """Append raw body bytes (already-serialized cycle packets)."""
+        if self._closed:
+            raise TraceFormatError(f"writer for {self.path} is closed")
+        data = bytes(chunk)
+        self._fh.write(data)
+        self._crc = zlib.crc32(data, self._crc)
+        self._body_len += len(data)
+
+    def append_packet(self, packet: CyclePacket) -> None:
+        """Serialize and append one cycle packet."""
+        self.append(packet.serialize(self.table, self.with_validation))
+
+    def close(self) -> Path:
+        """Finalize: footer, fsync, atomic rename. Returns the final path."""
+        if self._closed:
+            return self.path
+        self._fh.write(self._body_len.to_bytes(8, "little"))
+        self._fh.write(self._crc.to_bytes(4, "little"))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        os.replace(self.part_path, self.path)
+        self._closed = True
+        return self.path
+
+    def abort(self) -> None:
+        """Drop the partial file without finalizing (explicit cancellation)."""
+        if self._closed:
+            return
+        self._fh.close()
+        self.part_path.unlink(missing_ok=True)
+        self._closed = True
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Normal exit finalizes; an exception leaves the .part file for
+        # salvage, exactly like a crash would.
+        if exc_type is None:
+            self.close()
+        elif not self._closed:
+            self._fh.flush()
+            self._fh.close()
+            self._closed = True

@@ -46,12 +46,59 @@ class TraceFormatError(ReproError):
     """A serialized trace could not be parsed (corrupt or mismatched layout)."""
 
 
+class TraceIntegrityError(TraceFormatError):
+    """A v2 trace segment failed its CRC32 check (corruption at rest).
+
+    Subclasses :class:`TraceFormatError` so existing ``except`` clauses keep
+    working; the distinct type lets salvage tooling tell "the framing is
+    damaged" (recoverable prefix may exist) from "this is not a trace at
+    all".
+    """
+
+
 class ReplayError(ReproError):
     """The replay engine could not make progress consistent with the trace."""
 
 
+class ShardReplayError(ReplayError):
+    """A sharded-replay worker cell kept failing after retries and fallback."""
+
+
+class ReplayStallError(ReplayError, WatchdogTimeout):
+    """Replay stopped completing transactions while feeds remain unconsumed.
+
+    Raised by the replay progress watchdog instead of letting a livelocked
+    replay burn its whole cycle budget (or hang a caller that picked a huge
+    one). Subclasses :class:`WatchdogTimeout` so deadlock-classification
+    code (e.g. the trace fuzzer) keeps working, and carries the structured
+    diagnostics a developer needs to see *why* nothing can fire:
+
+    * ``cycle`` — the simulation cycle the watchdog gave up at;
+    * ``last_progress_cycle`` — the last cycle any replayer broadcast a
+      completion (``None`` when nothing ever completed);
+    * ``current_clock`` — the shared ``T_current`` vector at stall time;
+    * ``channels`` — per-replayer dicts: consumed/total actions, the next
+      action's ``T_expected`` prerequisite and which channels it is
+      waiting on, plus in-flight sender/receiver state.
+    """
+
+    def __init__(self, message: str, *, cycle: "int | None" = None,
+                 last_progress_cycle: "int | None" = None,
+                 current_clock: "tuple | None" = None,
+                 channels: "list | None" = None):
+        super().__init__(message)
+        self.cycle = cycle
+        self.last_progress_cycle = last_progress_cycle
+        self.current_clock = current_clock
+        self.channels = list(channels or [])
+
+
 class ConfigError(ReproError):
     """An invalid Vidi configuration (unknown interface, bad mode, ...)."""
+
+
+class FaultPlanError(ConfigError):
+    """A fault-injection plan names an unknown fault kind or bad parameters."""
 
 
 class ResourceModelError(ReproError):

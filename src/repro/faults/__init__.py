@@ -1,0 +1,23 @@
+"""Fault injection for the record/replay pipeline (robustness harness).
+
+Declarative, seed-deterministic fault plans (:mod:`repro.faults.plan`),
+an injector that arms them at every pipeline layer
+(:mod:`repro.faults.injector`), and seeded campaigns that inject hundreds
+of faults and verify none is silently wrong-accepted
+(:mod:`repro.faults.campaign`).
+"""
+
+from repro.faults.campaign import CampaignReport, FaultTrial, run_campaign
+from repro.faults.injector import CrashingWorker, FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "CampaignReport",
+    "CrashingWorker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTrial",
+    "run_campaign",
+]

@@ -22,6 +22,15 @@ Long traces replay in parallel, sharded at quiescent checkpoints::
 
     python -m repro.harness record dram_dma -o d.trace --checkpoints d.ckpt
     python -m repro.harness replay dram_dma d.trace --jobs 4 --checkpoints d.ckpt
+
+Fault injection rides on the same commands (see ``repro.faults``)::
+
+    python -m repro.harness record sha256 -o bad.trace \
+        --inject 'store-bitflip:flips=2;blob-truncate:keep=0.6'
+    python -m repro.harness replay sha256 bad.trace --salvage
+    python -m repro.harness replay dram_dma d.trace --jobs 4 \
+        --checkpoints d.ckpt --inject 'worker-crash:crashes=1'
+    python -m repro.harness campaign --faults 200
 """
 
 from __future__ import annotations
@@ -66,12 +75,23 @@ def _cmd_record(args) -> int:
     from repro.harness.runner import bench_config, record_run
 
     spec = get_app(args.app)
+    before_run = None
+    injector = None
+    if args.inject:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector.from_text(args.inject, seed=args.inject_seed)
+        before_run = injector.arm_recording
     if args.checkpoints:
         from repro.harness.sharded_replay import (
             record_with_checkpoints,
             save_checkpoints,
         )
 
+        if before_run is not None:
+            print("--inject and --checkpoints cannot combine (both hook "
+                  "the recording deployment)", file=sys.stderr)
+            return 2
         metrics, checkpoints = record_with_checkpoints(
             spec, bench_config(VidiConfig.r2), seed=args.seed,
             scale=args.scale)
@@ -80,9 +100,17 @@ def _cmd_record(args) -> int:
               f"-> {args.checkpoints}")
     else:
         metrics = record_run(spec, bench_config(VidiConfig.r2), seed=args.seed,
-                             scale=args.scale, profile=args.profile)
+                             scale=args.scale, profile=args.profile,
+                             before_run=before_run)
     trace = metrics.result["trace"]
-    trace.save(args.output, compress=args.compress)
+    if injector is not None:
+        blob = injector.mangle_blob(
+            trace.to_bytes(compress=args.compress))
+        Path(args.output).write_bytes(blob)
+        for entry in injector.log:
+            print(f"fault: {entry}")
+    else:
+        trace.save(args.output, compress=args.compress)
     print(f"recorded {spec.label}: {metrics.cycles} cycles, "
           f"{metrics.monitored_transactions} transactions, "
           f"{trace.size_bytes} trace bytes -> {args.output}")
@@ -116,8 +144,17 @@ def _cmd_replay(args) -> int:
     from repro.harness.runner import replay_run
 
     spec = get_app(args.app)
-    trace = TraceFile.load(args.trace)
+    trace = TraceFile.load(args.trace, salvage=args.salvage)
+    if trace.salvaged:
+        info = trace.metadata["salvaged"]
+        print(f"salvaged {info['packets']} packet(s) "
+              f"({info['dropped_bytes']} byte(s) dropped): {info['reason']}")
     time_warp = False if args.no_time_warp else None
+    injector = None
+    if args.inject:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector.from_text(args.inject, seed=args.inject_seed)
     if args.jobs and args.jobs > 1:
         from repro.harness.sharded_replay import (
             load_checkpoints,
@@ -130,12 +167,18 @@ def _cmd_replay(args) -> int:
             return 2
         checkpoints = load_checkpoints(args.checkpoints)
         result = replay_sharded(spec, trace, checkpoints, jobs=args.jobs,
-                                time_warp=time_warp)
+                                time_warp=time_warp, injector=injector)
+        if injector is not None:
+            for entry in injector.log:
+                print(f"fault: {entry}")
         report = compare_traces(trace, result.validation)
         print(f"replayed {spec.label}: {result.segments} segment(s), "
               f"critical path {result.critical_path_cycles} of "
               f"{result.total_cycles} total cycles")
     else:
+        if injector is not None:
+            print("note: --inject on replay arms worker-crash faults, "
+                  "which need sharded mode (--jobs > 1)", file=sys.stderr)
         metrics = replay_run(spec, trace, time_warp=time_warp)
         report = compare_traces(trace, metrics.result["validation"])
         sim = metrics.result["deployment"].sim
@@ -143,6 +186,17 @@ def _cmd_replay(args) -> int:
               f"({sim.warped_cycles} warped in {sim.warp_jumps} jump(s))")
     print(report.summary())
     return 0 if report.clean else 1
+
+
+def _cmd_campaign(args) -> int:
+    """Run a seeded fault-injection campaign and report containment."""
+    from repro.faults import run_campaign
+
+    report = run_campaign(app=args.app, n_faults=args.faults, seed=args.seed,
+                          crash_app=args.crash_app,
+                          progress=lambda msg: print(f"  {msg}"))
+    print(report.render())
+    return 0 if not report.silent_accepts else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -170,6 +224,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_rec.add_argument("--checkpoints", metavar="PATH",
                        help="also harvest quiescent checkpoints to this "
                             "sidecar file (enables sharded replay)")
+    p_rec.add_argument("--inject", metavar="PLAN",
+                       help="arm a fault plan while recording, e.g. "
+                            "'store-bitflip:flips=2;channel-stall:cycles=200'")
+    p_rec.add_argument("--inject-seed", type=int, default=0,
+                       help="seed for the fault plan's random choices")
     p_rec.set_defaults(func=_cmd_record)
     p_rep = sub.add_parser("replay", help="replay and validate a trace")
     p_rep.add_argument("app")
@@ -183,7 +242,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_rep.add_argument("--no-time-warp", action="store_true",
                        help="disable quiescent-gap skipping (per-cycle "
                             "reference replay)")
+    p_rep.add_argument("--salvage", action="store_true",
+                       help="recover a damaged/partial v2 trace as its "
+                            "longest valid packet prefix before replaying")
+    p_rep.add_argument("--inject", metavar="PLAN",
+                       help="arm a fault plan during replay, e.g. "
+                            "'worker-crash:crashes=1' (sharded mode)")
+    p_rep.add_argument("--inject-seed", type=int, default=0,
+                       help="seed for the fault plan's random choices")
     p_rep.set_defaults(func=_cmd_replay)
+    p_cam = sub.add_parser(
+        "campaign", help="seeded fault-injection campaign: inject hundreds "
+        "of faults, verify none is silently wrong-accepted")
+    p_cam.add_argument("--app", default="sha256",
+                       help="app hosting the per-trial record/replay faults")
+    p_cam.add_argument("--crash-app", default="dram_dma",
+                       help="checkpoint-yielding app for worker-crash trials")
+    p_cam.add_argument("--faults", type=int, default=200)
+    p_cam.add_argument("--seed", type=int, default=0)
+    p_cam.set_defaults(func=_cmd_campaign)
 
     # Back-compat: `python -m repro.harness table2` without the
     # `artifact` keyword still works.
@@ -196,7 +273,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    if args.command in ("record", "replay"):
+    if args.command in ("record", "replay", "campaign"):
         return args.func(args)
     if args.artifact == "all":
         names: List[str] = list(ALL)

@@ -15,7 +15,7 @@ from typing import Callable, List, Optional
 from repro.apps.registry import AppSpec
 from repro.core.config import VidiConfig, VidiMode
 from repro.core.trace_file import TraceFile
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ShardReplayError
 from repro.platform.env import EnvironmentMode
 from repro.platform.shell import F1Deployment
 
@@ -269,18 +269,93 @@ def run_divergence_cell(cell: SweepCell) -> dict:
 
 
 def run_cells(cells: List[SweepCell], worker: Callable[[SweepCell], dict],
-              jobs: Optional[int] = None) -> List[dict]:
+              jobs: Optional[int] = None, retries: int = 0,
+              fallback_inline: bool = False,
+              backoff_s: float = 0.05) -> List[dict]:
     """Execute sweep cells, optionally sharded across worker processes.
 
     ``jobs`` of ``None``/``0``/``1`` runs inline; larger values use a
     ``ProcessPoolExecutor``. Results always come back in cell order, and
     each cell is fully self-seeded, so the parallel sweep's numbers are
     identical to the sequential ones.
+
+    Worker failures — exceptions *and* hard process deaths (a crashed
+    worker breaks the whole pool, poisoning every pending future) — are
+    retried per cell: each of up to ``retries`` extra rounds re-submits
+    only the still-failing cells to a fresh pool, after an escalating
+    ``backoff_s`` pause. Cells still failing after the pool rounds are
+    replayed inline when ``fallback_inline`` is set (same process, no
+    pool to break); a cell that fails even inline — or that exhausts the
+    rounds without a fallback — raises
+    :class:`~repro.errors.ShardReplayError` chaining the last cause.
+    Because every cell is self-seeded, a result that needed three
+    attempts is byte-identical to one that needed one.
     """
     cells = list(cells)
     if not jobs or jobs <= 1 or len(cells) <= 1:
-        return [worker(cell) for cell in cells]
+        return [_run_cell_inline(cell, worker, retries, backoff_s)
+                for cell in cells]
+    import time
     from concurrent.futures import ProcessPoolExecutor
 
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-        return list(pool.map(worker, cells, chunksize=1))
+    results: List[Optional[dict]] = [None] * len(cells)
+    remaining = list(range(len(cells)))
+    causes: dict = {}
+    for attempt in range(retries + 1):
+        if not remaining:
+            break
+        if attempt and backoff_s:
+            time.sleep(backoff_s * attempt)
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(remaining)))
+        try:
+            futures = {i: pool.submit(worker, cells[i]) for i in remaining}
+            failed = []
+            for i in remaining:
+                try:
+                    results[i] = futures[i].result()
+                except Exception as exc:   # incl. BrokenProcessPool
+                    causes[i] = exc
+                    failed.append(i)
+            remaining = failed
+        finally:
+            # A broken pool cannot be reused; always build a fresh one.
+            pool.shutdown(wait=False, cancel_futures=True)
+    if remaining and fallback_inline:
+        still = []
+        for i in remaining:
+            try:
+                results[i] = _run_cell_inline(cells[i], worker, retries,
+                                              backoff_s)
+            except ShardReplayError as exc:
+                causes[i] = exc
+                still.append(i)
+        remaining = still
+    if remaining:
+        first = remaining[0]
+        raise ShardReplayError(
+            f"{len(remaining)} of {len(cells)} cell(s) failed after "
+            f"{retries + 1} pool round(s)"
+            + (" and an inline fallback" if fallback_inline else "")
+            + f"; first: cell {first} ({causes[first]})"
+        ) from causes[first]
+    return results
+
+
+def _run_cell_inline(cell, worker: Callable[[SweepCell], dict],
+                     retries: int, backoff_s: float) -> dict:
+    """Run one cell in this process, retrying worker exceptions."""
+    import time
+
+    last: Optional[Exception] = None
+    for attempt in range(retries + 1):
+        if attempt and backoff_s:
+            time.sleep(backoff_s * attempt)
+        try:
+            return worker(cell)
+        except Exception as exc:
+            last = exc
+    if retries == 0:
+        raise last   # single-attempt inline: legacy pass-through
+    raise ShardReplayError(
+        f"cell failed after {retries + 1} inline attempt(s): {last}"
+    ) from last

@@ -195,7 +195,9 @@ def replay_sharded(spec: AppSpec, trace: TraceFile,
                    segments: Optional[int] = None,
                    jobs: Optional[int] = None,
                    time_warp: Optional[bool] = None,
-                   max_cycles: int = 4_000_000) -> ShardedReplayResult:
+                   max_cycles: int = 4_000_000,
+                   retries: int = 2,
+                   injector=None) -> ShardedReplayResult:
     """Replay ``trace`` split at checkpointed boundaries across workers.
 
     ``segments`` defaults to ``jobs`` (one segment per worker); ``jobs`` of
@@ -203,6 +205,15 @@ def replay_sharded(spec: AppSpec, trace: TraceFile,
     slicing and stitching path. The stitched validation trace is
     byte-identical to a sequential replay's, so callers feed it straight
     into :func:`~repro.core.divergence.compare_traces`.
+
+    Worker deaths are absorbed: crashed shards are retried up to
+    ``retries`` times on fresh pools and, failing that, replayed inline —
+    every shard is a pure function of its cell, so the stitched result is
+    byte-identical no matter how many attempts a shard needed. ``injector``
+    (a :class:`~repro.faults.injector.FaultInjector` with a
+    ``worker-crash`` fault armed) wraps the shard worker so chosen shards
+    kill their worker process on first execution — the fault campaign's
+    way of proving the recovery path end to end.
     """
     index = trace.index()
     n_packets = len(index)
@@ -217,7 +228,11 @@ def replay_sharded(spec: AppSpec, trace: TraceFile,
                         time_warp=time_warp, max_cycles=max_cycles)
         for start, stop, checkpoint in plan
     ]
-    results = run_cells(cells, run_replay_shard, jobs=jobs)
+    worker = run_replay_shard
+    if injector is not None:
+        worker = injector.crashing_worker(worker, cells)
+    results = run_cells(cells, worker, jobs=jobs, retries=retries,
+                        fallback_inline=True)
     stitched = TraceFile(
         table=trace.table,
         body=b"".join(r["validation_body"] for r in results),

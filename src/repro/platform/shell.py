@@ -18,7 +18,7 @@ from repro.channels.axi import AxiInterface
 from repro.core.config import VidiConfig, VidiMode
 from repro.core.shim import VidiShim
 from repro.core.trace_file import TraceFile
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReplayStallError, WatchdogTimeout
 from repro.platform.cpu import CpuModel
 from repro.platform.env import EnvironmentMode
 from repro.platform.host_mem import HostMemoryController
@@ -32,6 +32,13 @@ AcceleratorFactory = Callable[[Dict[str, AxiInterface]], Module]
 
 HOST_MEMORY_BYTES = 1 << 22   # 4 MiB of modelled host DRAM
 DEFAULT_MAX_CYCLES = 2_000_000
+# Replay progress-watchdog window: cycles without a single transaction
+# completion before a livelocked replay is converted into a structured
+# ReplayStallError. Generous against genuinely slow stretches (the longest
+# legitimate inter-completion gaps observed across the app suite are a few
+# thousand cycles) yet small enough that a wedged replay fails in well
+# under a second instead of consuming its full cycle budget.
+DEFAULT_REPLAY_STALL_BUDGET = 16_384
 
 
 class F1Deployment:
@@ -139,13 +146,58 @@ class F1Deployment:
                                   what=f"{self.name}: host program completion")
 
     def run_replay(self, max_cycles: int = DEFAULT_MAX_CYCLES,
-                   drain_cycles: int = 64) -> int:
-        """Run until every replayer drained its feed; returns elapsed cycles."""
+                   drain_cycles: int = 64,
+                   stall_budget: Optional[int] = None) -> int:
+        """Run until every replayer drained its feed; returns elapsed cycles.
+
+        A progress watchdog guards against *livelock* (replayers alive but
+        permanently vector-clock-gated, e.g. by a causally impossible
+        mutated trace or a corrupted Ends bitvector): if no transaction
+        completes for ``stall_budget`` consecutive cycles while feeds
+        remain unconsumed, a structured
+        :class:`~repro.errors.ReplayStallError` is raised — per-channel
+        clocks, pending handshakes and the last-progress cycle attached —
+        instead of silently burning the whole ``max_cycles`` budget.
+        The stepping itself is unchanged (the budget only chunks the
+        ``run_until`` loop), so cycle counts and validation traces stay
+        bit-identical to an unguarded run.
+        """
         if self.config.mode is not VidiMode.REPLAY:
             raise ConfigError("run_replay() requires a replay configuration")
-        elapsed = self.sim.run_until(
-            lambda: self.shim.replay_done, max_cycles,
-            what=f"{self.name}: replay completion")
+        budget = stall_budget or DEFAULT_REPLAY_STALL_BUDGET
+        sim, shim = self.sim, self.shim
+        start = sim.cycle
+        end = start + max_cycles
+        done = shim.replay_done
+        last_token = shim.progress_token()
+        while not done:
+            chunk = min(budget, end - sim.cycle)
+            if chunk <= 0:
+                raise WatchdogTimeout(
+                    f"{sim.name}: {self.name}: replay completion not reached "
+                    f"within {max_cycles} cycles (cycle {sim.cycle})")
+            try:
+                sim.run_until(lambda: self.shim.replay_done, chunk,
+                              what=f"{self.name}: replay completion")
+                done = True
+            except WatchdogTimeout:
+                token = shim.progress_token()
+                if token == last_token:
+                    report = shim.stall_report()
+                    stuck = len(report["channels"])
+                    raise ReplayStallError(
+                        f"{self.name}: replay livelocked — no transaction "
+                        f"completed in {chunk} cycles (cycle {sim.cycle}, "
+                        f"last progress at cycle "
+                        f"{report['last_progress_cycle']}, {stuck} "
+                        f"channel(s) blocked)",
+                        cycle=sim.cycle,
+                        last_progress_cycle=report["last_progress_cycle"],
+                        current_clock=report["current_clock"],
+                        channels=report["channels"],
+                    ) from None
+                last_token = token
+        elapsed = sim.cycle - start
         self.sim.run(drain_cycles)   # let trailing validation packets flush
         return elapsed
 

@@ -54,6 +54,8 @@ def cmd_info(args) -> int:
     trace = TraceFile.load(args.trace)
     packets = trace.packets()
     print(f"trace      : {args.trace}")
+    print(f"format     : v{trace.format_version} "
+          f"{'(CRC32-framed)' if trace.format_version >= 2 else '(legacy)'}")
     print(f"body       : {fmt_bytes(trace.size_bytes)} "
           f"({len(packets)} cycle packets)")
     print(f"validation : {'output contents recorded' if trace.with_validation else 'no'}")
@@ -194,10 +196,18 @@ def cmd_audit(args) -> int:
 def cmd_fuzz(args) -> int:
     """Fuzz an application with random mutations of one of its traces."""
     from repro.apps.registry import get_app
-    from repro.tools.fuzz import fuzz_replay, render_fuzz
+    from repro.tools.fuzz import fuzz_frames, fuzz_replay, render_fuzz
 
-    spec = get_app(args.app)
     trace = TraceFile.load(args.trace)
+    if args.frames:
+        outcomes = fuzz_frames(trace, n_mutants=args.mutants, seed=args.seed)
+        print(render_fuzz(outcomes))
+        return 0 if not any(o.verdict == "silent-accept"
+                            for o in outcomes) else 1
+    if args.app is None:
+        print("error: fuzz needs an app (or --frames)", file=sys.stderr)
+        return 2
+    spec = get_app(args.app)
     under_test = spec.make()[0]
     reference = None
     if args.reference_app:
@@ -207,6 +217,23 @@ def cmd_fuzz(args) -> int:
                            reference_factory=reference)
     print(render_fuzz(outcomes))
     return 0 if not any(o.verdict == "deadlock" for o in outcomes) else 1
+
+
+def cmd_salvage(args) -> int:
+    """Recover the valid packet prefix of a damaged or partial v2 trace."""
+    trace = TraceFile.load(args.trace, salvage=True)
+    if trace.salvaged:
+        info = trace.metadata["salvaged"]
+        print(f"salvaged   : {info['packets']} packet(s), "
+              f"{fmt_bytes(info['bytes'])} "
+              f"(dropped {fmt_bytes(info['dropped_bytes'])})")
+        print(f"reason     : {info['reason']}")
+    else:
+        print("trace is intact; no salvage needed")
+    if args.output:
+        trace.save(args.output)
+        print(f"written to : {args.output}")
+    return 0
 
 
 def cmd_coverage(args) -> int:
@@ -291,14 +318,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz = sub.add_parser(
         "fuzz", help="replay random mutations of a trace against an app "
         "(exit 1 when a deadlock bug is found)")
-    p_fuzz.add_argument("app", help="registry key of the design under test")
+    p_fuzz.add_argument("app", nargs="?", default=None,
+                        help="registry key of the design under test "
+                        "(not needed with --frames)")
     p_fuzz.add_argument("trace")
     p_fuzz.add_argument("--mutants", type=int, default=20)
     p_fuzz.add_argument("--seed", type=int, default=0)
     p_fuzz.add_argument("--max-cycles", type=int, default=20_000)
     p_fuzz.add_argument("--reference-app",
                         help="known-good design for causal triage")
+    p_fuzz.add_argument("--frames", action="store_true",
+                        help="fuzz the v2 container framing instead of the "
+                        "event semantics (exit 1 on any silent accept)")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_sal = sub.add_parser(
+        "salvage", help="recover the valid packet prefix of a damaged or "
+        "crash-truncated v2 trace")
+    p_sal.add_argument("trace")
+    p_sal.add_argument("-o", "--output",
+                       help="write the recovered trace here")
+    p_sal.set_defaults(func=cmd_salvage)
     return parser
 
 

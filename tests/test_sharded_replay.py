@@ -16,6 +16,11 @@ from repro.harness.sharded_replay import (
 )
 
 
+def _always_dies(cell):
+    """Module-level so the process pool can pickle it."""
+    raise RuntimeError("persistent fault")
+
+
 @pytest.fixture(scope="module")
 def recorded():
     """One DRAM-DMA recording with harvested checkpoints plus its
@@ -112,6 +117,45 @@ class TestShardedReplay:
                                 time_warp=False)
         assert bytes(result.validation.body) == \
             bytes(sequential.result["validation"].body)
+
+
+class TestCrashRecovery:
+    """Injected worker crashes must be absorbed by the retry/fallback
+    machinery and leave the stitched validation trace bit-identical."""
+
+    def test_single_crash_recovers_bit_identically(self, recorded):
+        from repro.faults import FaultInjector, FaultPlan
+
+        spec, trace, checkpoints, sequential = recorded
+        injector = FaultInjector(
+            FaultPlan.single("worker-crash", seed=1, crashes=1))
+        result = replay_sharded(spec, trace, checkpoints, segments=3,
+                                jobs=2, retries=2, injector=injector)
+        assert any("worker-crash" in entry for entry in injector.log)
+        assert bytes(result.validation.body) == \
+            bytes(sequential.result["validation"].body)
+
+    def test_every_shard_crashing_still_recovers(self, recorded):
+        """Even with every worker dying once, retries (and ultimately the
+        inline fallback) reconstruct the full validation trace."""
+        from repro.faults import FaultInjector, FaultPlan
+
+        spec, trace, checkpoints, sequential = recorded
+        injector = FaultInjector(
+            FaultPlan.single("worker-crash", seed=2, crashes=99))
+        result = replay_sharded(spec, trace, checkpoints, segments=3,
+                                jobs=2, retries=2, injector=injector)
+        assert bytes(result.validation.body) == \
+            bytes(sequential.result["validation"].body)
+
+    def test_exhausted_retries_raise_typed_error(self, recorded):
+        """A persistent (non-transient) crash surfaces as ShardReplayError
+        rather than an opaque pool exception."""
+        from repro.errors import ShardReplayError
+        from repro.harness.runner import run_cells
+
+        with pytest.raises(ShardReplayError):
+            run_cells([1, 2], _always_dies, jobs=2, retries=1)
 
 
 class TestCheckpointSidecar:

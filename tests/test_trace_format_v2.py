@@ -1,0 +1,304 @@
+"""Tests for the v2 CRC32-framed trace container, salvage, and TraceWriter."""
+
+import random
+import zlib
+
+import pytest
+
+from repro.core.events import ChannelInfo, ChannelTable
+from repro.core.mutation import FRAME_REGIONS, corrupt_frame
+from repro.core.packets import CyclePacket, scan_packet_prefix
+from repro.core.trace_file import (
+    DEFAULT_FORMAT_VERSION,
+    TraceFile,
+    TraceWriter,
+)
+from repro.errors import ConfigError, TraceFormatError, TraceIntegrityError
+
+
+def small_table() -> ChannelTable:
+    return ChannelTable([
+        ChannelInfo(index=0, name="a.req", direction="in",
+                    content_bytes=4, payload_bits=32),
+        ChannelInfo(index=1, name="a.rsp", direction="out",
+                    content_bytes=4, payload_bits=32),
+    ])
+
+
+def small_trace(n_packets: int = 6) -> TraceFile:
+    table = small_table()
+    packets = []
+    for i in range(n_packets):
+        packet = CyclePacket(starts=1, ends=2)
+        packet.contents[0] = i.to_bytes(4, "little")
+        packet.validation[1] = (i * 3).to_bytes(4, "little")
+        packets.append(packet)
+    return TraceFile.from_packets(table, packets, metadata={"app": "unit"})
+
+
+class TestRoundTrip:
+    def test_default_version_is_v2(self):
+        assert DEFAULT_FORMAT_VERSION == 2
+        assert small_trace().to_bytes()[:8] == b"VIDITRC2"
+
+    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_round_trip_both_versions(self, version, compress):
+        trace = small_trace()
+        blob = trace.to_bytes(compress=compress, version=version)
+        loaded = TraceFile.from_bytes(blob)
+        assert loaded.format_version == version
+        assert bytes(loaded.body) == bytes(trace.body)
+        assert loaded.table.to_dict() == trace.table.to_dict()
+        assert loaded.metadata["app"] == "unit"
+        assert not loaded.salvaged
+
+    def test_v1_traces_still_load(self, tmp_path):
+        """Pre-v2 archives keep working (format-version compatibility)."""
+        path = tmp_path / "legacy.trace"
+        small_trace().save(path, version=1)
+        loaded = TraceFile.load(path)
+        assert loaded.format_version == 1
+        assert bytes(loaded.body) == bytes(small_trace().body)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(TraceFormatError):
+            small_trace().to_bytes(version=3)
+
+
+class TestFramingRejections:
+    """Short blobs, truncated segments and trailing garbage must all fail
+    loudly, for both container versions."""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_short_blob(self, version):
+        blob = small_trace().to_bytes(version=version)
+        for cut in (0, 3, 7):
+            with pytest.raises(TraceFormatError):
+                TraceFile.from_bytes(blob[:cut])
+
+    def test_bad_magic(self):
+        blob = small_trace().to_bytes()
+        with pytest.raises(TraceFormatError):
+            TraceFile.from_bytes(b"NOTATRCE" + blob[8:])
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_truncated_header(self, version):
+        blob = small_trace().to_bytes(version=version)
+        preamble = 16 if version == 1 else 20
+        with pytest.raises(TraceFormatError):
+            TraceFile.from_bytes(blob[:preamble + 5])
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_trailing_garbage_rejected(self, version):
+        blob = small_trace().to_bytes(version=version)
+        with pytest.raises(TraceFormatError):
+            TraceFile.from_bytes(blob + b"\x00" * 9)
+
+    def test_v1_truncated_body(self):
+        blob = small_trace().to_bytes(version=1)
+        with pytest.raises(TraceFormatError):
+            TraceFile.from_bytes(blob[:-5])
+
+
+class TestCrcDetection:
+    def test_every_single_byte_flip_detected(self):
+        """Exhaustive: no single-byte corruption of a v2 blob loads."""
+        trace = small_trace()
+        blob = bytearray(trace.to_bytes())
+        for position in range(len(blob)):
+            blob[position] ^= 0x41
+            with pytest.raises(TraceFormatError):
+                TraceFile.from_bytes(bytes(blob))
+            blob[position] ^= 0x41
+
+    def test_header_corruption_is_integrity_error(self):
+        blob = bytearray(small_trace().to_bytes())
+        blob[25] ^= 1   # inside the JSON header
+        with pytest.raises(TraceIntegrityError):
+            TraceFile.from_bytes(bytes(blob))
+
+    def test_body_corruption_is_integrity_error(self):
+        blob = bytearray(small_trace().to_bytes())
+        blob[-20] ^= 1  # inside the body, near the footer
+        with pytest.raises(TraceIntegrityError):
+            TraceFile.from_bytes(bytes(blob))
+
+    def test_corrupt_frame_never_silently_accepted(self):
+        rng = random.Random(0)
+        trace = small_trace()
+        blob = trace.to_bytes()
+        for i in range(60):
+            region = FRAME_REGIONS[i % len(FRAME_REGIONS)]
+            _desc, damaged = corrupt_frame(blob, rng, region=region)
+            with pytest.raises(TraceFormatError):
+                TraceFile.from_bytes(damaged)
+
+    def test_corrupt_frame_needs_v2(self):
+        with pytest.raises(ConfigError):
+            corrupt_frame(small_trace().to_bytes(version=1),
+                          random.Random(0))
+
+
+class TestSalvage:
+    def test_truncation_salvages_packet_prefix(self):
+        trace = small_trace(8)
+        blob = trace.to_bytes()
+        index = trace.index()
+        body_start = len(blob) - len(trace.body) - 12
+        # Cut in the middle of packet 5's serialized bytes.
+        cut = body_start + index.offset_of(5) + 3
+        salvaged = TraceFile.from_bytes(blob[:cut], salvage=True)
+        assert salvaged.salvaged
+        assert salvaged.metadata["salvaged"]["packets"] == 5
+        assert bytes(trace.body).startswith(bytes(salvaged.body))
+        assert salvaged.packet_count == 5
+
+    def test_interior_corruption_salvages_leading_packets(self):
+        trace = small_trace(8)
+        blob = bytearray(trace.to_bytes())
+        body_start = len(blob) - len(trace.body) - 12
+        offset = trace.index().offset_of(3)
+        blob[body_start + offset] ^= 0xFF   # break packet 3's bitvector
+        salvaged = TraceFile.from_bytes(bytes(blob), salvage=True)
+        assert salvaged.salvaged
+        # At least the packets before the flipped byte survive.
+        assert salvaged.metadata["salvaged"]["packets"] >= 3
+        assert salvaged.packet_count >= 3
+
+    def test_salvage_without_flag_still_raises(self):
+        blob = small_trace().to_bytes()
+        with pytest.raises(TraceIntegrityError):
+            TraceFile.from_bytes(blob[:-1])
+
+    def test_salvage_requires_intact_header(self):
+        blob = bytearray(small_trace().to_bytes())
+        blob[25] ^= 1
+        with pytest.raises(TraceIntegrityError):
+            TraceFile.from_bytes(bytes(blob[:-4]), salvage=True)
+
+    def test_corrupt_compressed_body_cannot_salvage(self):
+        blob = bytearray(small_trace().to_bytes(compress=True))
+        blob[-16] ^= 1
+        with pytest.raises(TraceIntegrityError):
+            TraceFile.from_bytes(bytes(blob), salvage=True)
+
+    def test_intact_blob_salvage_is_identity(self):
+        blob = small_trace().to_bytes()
+        loaded = TraceFile.from_bytes(blob, salvage=True)
+        assert not loaded.salvaged
+        assert bytes(loaded.body) == bytes(small_trace().body)
+
+
+class TestScanPacketPrefix:
+    def test_full_body_scans_completely(self):
+        trace = small_trace(5)
+        packets, nbytes = scan_packet_prefix(trace.body, trace.table,
+                                             trace.with_validation)
+        assert packets == 5
+        assert nbytes == len(trace.body)
+
+    def test_empty_body(self):
+        trace = small_trace(1)
+        assert scan_packet_prefix(b"", trace.table, True) == (0, 0)
+
+    def test_garbage_tail_stops_scan(self):
+        trace = small_trace(4)
+        body = bytes(trace.body) + b"\xff\xff"
+        packets, nbytes = scan_packet_prefix(body, trace.table, True)
+        assert packets == 4
+        assert nbytes == len(trace.body)
+
+
+class TestTraceWriter:
+    def test_streamed_file_equals_to_bytes(self, tmp_path):
+        trace = small_trace(7)
+        path = tmp_path / "run.trace"
+        with TraceWriter(path, trace.table, metadata={"app": "unit"}) as w:
+            index = trace.index()
+            for ordinal in range(len(index)):
+                w.append(index.slice(ordinal, ordinal + 1))
+        assert path.exists()
+        assert not path.with_name("run.trace.part").exists()
+        loaded = TraceFile.load(path)
+        assert bytes(loaded.body) == bytes(trace.body)
+        assert loaded.metadata["app"] == "unit"
+
+    def test_append_packet(self, tmp_path):
+        trace = small_trace(3)
+        path = tmp_path / "p.trace"
+        with TraceWriter(path, trace.table) as w:
+            for packet in trace.packets():
+                w.append_packet(packet)
+        assert bytes(TraceFile.load(path).body) == bytes(trace.body)
+
+    def test_crash_leaves_salvageable_part_file(self, tmp_path):
+        trace = small_trace(9)
+        path = tmp_path / "crash.trace"
+        writer = TraceWriter(path, trace.table)
+        index = trace.index()
+        for ordinal in range(4):
+            writer.append(index.slice(ordinal, ordinal + 1))
+        writer._fh.flush()          # simulate dying without close()
+        part = path.with_name("crash.trace.part")
+        assert part.exists() and not path.exists()
+        salvaged = TraceFile.load(part, salvage=True)
+        assert salvaged.salvaged
+        assert salvaged.metadata["salvaged"]["packets"] == 4
+        assert bytes(trace.body).startswith(bytes(salvaged.body))
+        writer.abort()
+
+    def test_exception_in_context_preserves_part(self, tmp_path):
+        trace = small_trace(4)
+        path = tmp_path / "x.trace"
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path, trace.table) as w:
+                w.append(trace.index().slice(0, 2))
+                raise RuntimeError("recording died")
+        part = path.with_name("x.trace.part")
+        assert part.exists() and not path.exists()
+        salvaged = TraceFile.load(part, salvage=True)
+        assert salvaged.metadata["salvaged"]["packets"] == 2
+
+    def test_abort_removes_part(self, tmp_path):
+        path = tmp_path / "a.trace"
+        writer = TraceWriter(path, small_table())
+        writer.abort()
+        assert not path.with_name("a.trace.part").exists()
+        assert not path.exists()
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = TraceWriter(tmp_path / "c.trace", small_table())
+        writer.close()
+        with pytest.raises(TraceFormatError):
+            writer.append(b"x")
+
+    def test_footer_crc_matches_streamed_bytes(self, tmp_path):
+        trace = small_trace(5)
+        path = tmp_path / "crc.trace"
+        with TraceWriter(path, trace.table) as w:
+            w.append(trace.body)
+        blob = path.read_bytes()
+        assert blob[-4:] == zlib.crc32(bytes(trace.body)).to_bytes(4, "little")
+
+
+class TestSalvagedReplay:
+    def test_salvaged_prefix_replays_cleanly(self):
+        """A crash-truncated recording still replays: the availability
+        guarantee end to end (record -> truncate -> salvage -> replay)."""
+        from repro.apps.registry import get_app
+        from repro.core import VidiConfig, compare_traces
+        from repro.harness.runner import bench_config, record_run, replay_run
+
+        spec = get_app("sha256")
+        metrics = record_run(spec, bench_config(VidiConfig.r2), seed=11)
+        trace = metrics.result["trace"]
+        blob = trace.to_bytes()
+        cut = len(blob) - (len(trace.body) // 3) - 12
+        salvaged = TraceFile.from_bytes(blob[:cut], salvage=True)
+        assert salvaged.salvaged
+        assert 0 < salvaged.packet_count < trace.packet_count
+        replay = replay_run(spec, salvaged, max_cycles=400_000)
+        report = compare_traces(trace, replay.result["validation"],
+                                prefix=True)
+        assert report.clean
