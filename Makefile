@@ -1,15 +1,17 @@
 # Development entry points. `make check` is the pre-merge gate: the full
 # tier-1 test suite, the throughput benches (which enforce the
-# event-scheduler and time-warp speedup floors and refresh
-# BENCH_kernel.json / BENCH_replay.json), and the fault campaign (200
-# seeded faults across every kind; fails on any silent wrong-accept).
+# event-scheduler, compiled-kernel and time-warp speedup floors and
+# refresh BENCH_kernel.json / BENCH_compiled.json / BENCH_replay.json),
+# and the fault campaign (200 seeded faults across every kind; fails on
+# any silent wrong-accept).
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 
-.PHONY: check test bench-kernel bench-replay bench artifacts faults
+.PHONY: check test test-schedulers bench-kernel bench-compiled bench-replay \
+        bench artifacts faults
 
-check: test bench-kernel bench-replay faults
+check: test bench-kernel bench-compiled bench-replay faults
 
 faults:          ## seeded 200-fault injection campaign (containment gate)
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
@@ -18,8 +20,14 @@ faults:          ## seeded 200-fault injection campaign (containment gate)
 test:            ## tier-1: the full unit/integration suite
 	$(PYTEST) -x -q
 
+test-schedulers: ## the 3-way differential + levelization suites (CI matrix)
+	$(PYTEST) tests/test_scheduler_equivalence.py tests/test_compile.py -q
+
 bench-kernel:    ## kernel throughput + BENCH_kernel.json (speedup gate)
 	$(PYTEST) benchmarks/test_simulator_throughput.py -q -s
+
+bench-compiled:  ## compiled kernel + BENCH_compiled.json (>=1.5x gate)
+	$(PYTEST) benchmarks/test_compiled_kernel.py -q -s
 
 bench-replay:    ## replay throughput + BENCH_replay.json (time-warp gate)
 	$(PYTEST) benchmarks/test_replay_speed.py -q -s

@@ -70,6 +70,9 @@ class Accelerator(Module):
         self._budget = 0
         self._dma_blocked = False
         self._resume_value: Any = None
+        # seq() returns immediately while no kernel invocation is live
+        # (before the doorbell and after completion).
+        self.seq_idle_when(("none", "_kernel"))
         self.kernels_completed = 0
         self.busy_cycles = 0
         self.doorbell_count = 0

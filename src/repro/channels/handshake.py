@@ -73,6 +73,7 @@ class PassThrough(Module):
         self.up = up
         self.down = down
         self.sensitive_to(up.valid, up.payload, down.ready)
+        self.drives(down.valid, down.payload, up.ready)
 
     def comb(self) -> None:
         self.down.valid.drive(self.up.valid.value)
@@ -113,6 +114,10 @@ class ChannelSource(Module):
         # comb() reads only Python state (queue/_current); every mutation
         # site calls wake(), so no signal sensitivity is needed.
         self.sensitive_to()
+        self.drives(channel.valid, channel.payload)
+        # seq() only completes an in-flight handshake; with nothing in
+        # flight it is a no-op (a freshly queued item is popped by comb()).
+        self.seq_idle_when(("none", "_current"))
 
     def send(self, payload: Dict[str, int]) -> None:
         """Queue one transaction for transmission."""
@@ -178,6 +183,14 @@ class ChannelSink(Module):
         self._ready_now = 0
         self._cycle = 0
         self.sensitive_to()   # comb reads only the registered _ready_now
+        self.drives(channel.ready)
+        # An arbitrary READY policy must be consulted every cycle (it may
+        # be impure), so seq() is normally unskippable. The trivial
+        # always-ready policy is pure and ignores its arguments: once
+        # READY is up and no handshake is completing, seq() only advances
+        # the private _cycle counter the policy never reads.
+        if policy is always_ready:
+            self.seq_idle_when(("nofire", channel), ("truthy", "_ready_now"))
 
     def comb(self) -> None:
         self.channel.ready.drive(self._ready_now)

@@ -58,6 +58,19 @@ class AxiInterconnect(Module):
                           downstream.b.valid, downstream.b.payload,
                           downstream.ar.ready, downstream.r.valid,
                           downstream.r.payload)
+        for up in self.upstreams:
+            self.drives(up.aw.ready, up.w.ready, up.b.valid, up.b.payload,
+                        up.ar.ready, up.r.valid, up.r.payload)
+        self.drives(downstream.aw.valid, downstream.aw.payload,
+                    downstream.w.valid, downstream.w.payload,
+                    downstream.b.ready, downstream.ar.valid,
+                    downstream.ar.payload, downstream.r.ready)
+        # Idle iff neither path is owned, no B response is owed, and no
+        # manager is requesting (arbitration scans the AW/AR valids).
+        self.seq_idle_when(("none", "_write_owner"), ("none", "_read_owner"),
+                           ("falsy", "_b_queue"))
+        for up in self.upstreams:
+            self.seq_idle_when(("low", up.aw.valid), ("low", up.ar.valid))
 
     # ------------------------------------------------------------------
     def comb(self) -> None:

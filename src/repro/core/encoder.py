@@ -61,6 +61,10 @@ class TraceEncoder(Module):
         self.packets_emitted = 0
         self.events_recorded = 0
         self.enabled = True
+        # seq() only serializes a non-empty cycle packet (is_empty is
+        # exactly "no starts and no ends").
+        self.seq_idle_when(("falsy", "_packet.starts"),
+                           ("falsy", "_packet.ends"))
         # Ablation A1: when monitors bypass the reservation protocol the
         # encoder can face a packet it has no staging room for; instead of
         # violating the store invariant it drops the packet and counts the

@@ -76,6 +76,11 @@ class ChannelMonitor(Module):
         # Whoever toggles it must wake() the monitor.
         self.fault_stalled = False
         self.sensitive_to(up.valid, up.payload, down.ready)
+        self.drives(down.valid, down.payload, up.ready)
+        # Mirrors the seq() idle early-return below, inlined by the
+        # compiled kernel so an idle channel costs no Python call at all.
+        self.seq_idle_when(("low", up.valid), ("low", down.valid),
+                           ("falsy", "_committed"))
 
     @property
     def enabled(self) -> bool:

@@ -119,7 +119,18 @@ class ChannelReplayer(Module):
         self.replayed_transactions = 0
         self.validation_contents: List[bytes] = []
         self._satisfied_version = -1  # cache key for the vector comparison
+        # Coordinator version at which the action walk last came up empty
+        # (blocked or exhausted). While it still matches, and our channel
+        # did not fire, seq() is provably a no-op — the guard the compiled
+        # kernel inlines below.
+        self._blocked_version = -1
         self.sensitive_to()
+        if direction == "in":
+            self.drives(channel.valid, channel.payload)
+        else:
+            self.drives(channel.ready)
+        self.seq_idle_when(("nofire", channel),
+                           ("sync", "_blocked_version", "coordinator.version"))
 
     # ------------------------------------------------------------------
     @property
@@ -180,6 +191,9 @@ class ChannelReplayer(Module):
             self.wake()
             self._action_pos += 1
             self._satisfied_version = -1  # next action: re-evaluate
+        # The walk stopped: blocked on a prerequisite or out of actions.
+        # Either way nothing more can happen until the shared clock moves.
+        self._blocked_version = self.coordinator.version
 
     def next_wake(self, cycle: int) -> Optional[int]:
         # Purely reactive: everything seq() does is triggered by channel
@@ -247,3 +261,4 @@ class ChannelReplayer(Module):
         self.replayed_transactions = 0
         self.validation_contents.clear()
         self._satisfied_version = -1
+        self._blocked_version = -1

@@ -82,6 +82,10 @@ class TraceStore(Module):
         # fault scales the effective drain bandwidth while active.
         self.faults = None
         self.fault_bandwidth_factor = 1.0
+        # With nothing staged, seq() only tops up the drain credit; once
+        # the credit has saturated at its idle cap the call is a no-op.
+        self.seq_idle_when(("falsy", "_staged"),
+                           ("sync", "_drain_credit", "_idle_credit_cap"))
 
     # ------------------------------------------------------------------
     @property

@@ -124,7 +124,10 @@ class _Campaign:
     """Mutable campaign state: cached references + per-kind trial logic."""
 
     def __init__(self, app: str, seed: int, crash_app: str,
-                 progress: Optional[Callable[[str], None]]):
+                 progress: Optional[Callable[[str], None]],
+                 scheduler: Optional[str] = None):
+        import functools
+
         from repro.apps.registry import get_app
         from repro.core.config import VidiConfig
         from repro.harness.runner import bench_config, record_run, replay_run
@@ -132,16 +135,19 @@ class _Campaign:
         self.app = app
         self.crash_app = crash_app
         self.seed = seed
+        self.scheduler = scheduler
         self.progress = progress or (lambda _msg: None)
         self.spec = get_app(app)
         self.config = bench_config(VidiConfig.r2)
-        self.record_run = record_run
-        self.replay_run = replay_run
+        # Every record/replay in the campaign runs on the chosen kernel, so
+        # the containment verdicts exercise that scheduler end to end.
+        self.record_run = functools.partial(record_run, scheduler=scheduler)
+        self.replay_run = functools.partial(replay_run, scheduler=scheduler)
         # Fault-free references: one record, one replay, one serialization.
-        ref = record_run(self.spec, self.config, seed=seed)
+        ref = self.record_run(self.spec, self.config, seed=seed)
         self.ref_trace = ref.result["trace"]
         self.ref_blob = self.ref_trace.to_bytes()
-        rep = replay_run(self.spec, self.ref_trace)
+        rep = self.replay_run(self.spec, self.ref_trace)
         self.ref_validation_body = bytes(rep.result["validation"].body)
         self._crash_reference = None   # lazily recorded (it is expensive)
 
@@ -281,7 +287,8 @@ class _Campaign:
         try:
             sharded = replay_sharded(
                 spec, metrics.result["trace"], checkpoints,
-                segments=3, jobs=2, retries=2, injector=injector)
+                segments=3, jobs=2, retries=2, injector=injector,
+                scheduler=self.scheduler)
         except ReproError as exc:
             return "detected", f"sharded replay failed: {type(exc).__name__}"
         if bytes(sharded.validation.body) == clean_body:
@@ -303,12 +310,13 @@ class _Campaign:
             self.progress(f"recording {self.crash_app} with checkpoints "
                           "for worker-crash trials")
             metrics, checkpoints = record_with_checkpoints(
-                spec, seed=self.seed)
+                spec, seed=self.seed, scheduler=self.scheduler)
             if not checkpoints:
                 self._crash_reference = (None,)
             else:
                 clean = replay_sharded(spec, metrics.result["trace"],
-                                       checkpoints, segments=3, jobs=2)
+                                       checkpoints, segments=3, jobs=2,
+                                       scheduler=self.scheduler)
                 self._crash_reference = (
                     spec, metrics, checkpoints,
                     bytes(clean.validation.body))
@@ -319,17 +327,19 @@ class _Campaign:
 
 def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
                  crash_app: str = "dram_dma",
-                 progress: Optional[Callable[[str], None]] = None
-                 ) -> CampaignReport:
+                 progress: Optional[Callable[[str], None]] = None,
+                 scheduler: Optional[str] = None) -> CampaignReport:
     """Run a seeded fault campaign; see the module docstring for verdicts.
 
     ``app`` hosts the cheap per-trial record/replay faults; ``crash_app``
     (which must yield checkpoints — DRAM-heavy apps do) hosts the sharded
     worker-crash trials. The same ``(app, n_faults, seed)`` triple
-    reproduces the identical campaign, fault for fault.
+    reproduces the identical campaign, fault for fault. ``scheduler``
+    selects the simulation kernel every trial runs on (``None`` defers to
+    ``REPRO_SIM_SCHEDULER`` and then the simulator default).
     """
     rng = random.Random(seed)
-    campaign = _Campaign(app, seed, crash_app, progress)
+    campaign = _Campaign(app, seed, crash_app, progress, scheduler=scheduler)
     report = CampaignReport(app=app, seed=seed)
     kinds = _schedule(n_faults, rng)
     for index, kind in enumerate(kinds):

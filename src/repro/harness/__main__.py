@@ -18,6 +18,13 @@ Applications can also be recorded and replayed directly::
     python -m repro.harness record sha256 -o sha.trace --seed 7
     python -m repro.harness replay sha256 sha.trace
 
+Every record/replay/campaign command takes ``--scheduler
+{event,fixpoint,compiled}`` to pick the simulation kernel; the flag beats
+the ``REPRO_SIM_SCHEDULER`` environment variable, which beats the
+simulator default::
+
+    python -m repro.harness record sha256 -o sha.trace --scheduler compiled
+
 Long traces replay in parallel, sharded at quiescent checkpoints::
 
     python -m repro.harness record dram_dma -o d.trace --checkpoints d.ckpt
@@ -94,14 +101,15 @@ def _cmd_record(args) -> int:
             return 2
         metrics, checkpoints = record_with_checkpoints(
             spec, bench_config(VidiConfig.r2), seed=args.seed,
-            scale=args.scale)
+            scale=args.scale, scheduler=args.scheduler)
         save_checkpoints(args.checkpoints, checkpoints)
         print(f"harvested {len(checkpoints)} quiescent checkpoint(s) "
               f"-> {args.checkpoints}")
     else:
         metrics = record_run(spec, bench_config(VidiConfig.r2), seed=args.seed,
                              scale=args.scale, profile=args.profile,
-                             before_run=before_run)
+                             before_run=before_run,
+                             scheduler=args.scheduler)
     trace = metrics.result["trace"]
     if injector is not None:
         blob = injector.mangle_blob(
@@ -117,6 +125,8 @@ def _cmd_record(args) -> int:
     if args.profile:
         print()
         print(_render_kernel_profile(metrics.result["kernel_profile"]))
+        print()
+        print(_render_kernel_stats(metrics.result["kernel_stats"]))
     return 0
 
 
@@ -135,6 +145,24 @@ def _render_kernel_profile(rows: List[dict], top: int = 20) -> str:
         "(comb/seq wall-clock)",
         ["Module", "comb ms", "evals", "seq ms", "calls", "share %"],
         body)
+
+
+def _render_kernel_stats(stats: dict) -> str:
+    """Scheduler-level counters; compiled-kernel lines only when relevant."""
+    lines = [
+        f"scheduler: {stats['scheduler']}",
+        f"comb evals: {stats['comb_evals']}, "
+        f"quiescent cycles: {stats['quiescent_cycles']}",
+    ]
+    if stats["scheduler"] == "compiled":
+        lines.append(
+            f"compile time: {stats['compile_s'] * 1e3:.2f} ms, "
+            f"{stats['rank_count']} rank(s), "
+            f"{stats['demoted_sccs']} SCC(s) demoted to iterative settling")
+        evals = ", ".join(f"r{i}={n}" for i, n in
+                          enumerate(stats["rank_evals"]))
+        lines.append(f"per-rank comb evals: {evals or '(none)'}")
+    return "\n".join(lines)
 
 
 def _cmd_replay(args) -> int:
@@ -167,7 +195,8 @@ def _cmd_replay(args) -> int:
             return 2
         checkpoints = load_checkpoints(args.checkpoints)
         result = replay_sharded(spec, trace, checkpoints, jobs=args.jobs,
-                                time_warp=time_warp, injector=injector)
+                                time_warp=time_warp, injector=injector,
+                                scheduler=args.scheduler)
         if injector is not None:
             for entry in injector.log:
                 print(f"fault: {entry}")
@@ -179,7 +208,8 @@ def _cmd_replay(args) -> int:
         if injector is not None:
             print("note: --inject on replay arms worker-crash faults, "
                   "which need sharded mode (--jobs > 1)", file=sys.stderr)
-        metrics = replay_run(spec, trace, time_warp=time_warp)
+        metrics = replay_run(spec, trace, time_warp=time_warp,
+                             scheduler=args.scheduler)
         report = compare_traces(trace, metrics.result["validation"])
         sim = metrics.result["deployment"].sim
         print(f"replayed {spec.label}: {metrics.cycles} cycles "
@@ -194,9 +224,21 @@ def _cmd_campaign(args) -> int:
 
     report = run_campaign(app=args.app, n_faults=args.faults, seed=args.seed,
                           crash_app=args.crash_app,
+                          scheduler=args.scheduler,
                           progress=lambda msg: print(f"  {msg}"))
     print(report.render())
     return 0 if not report.silent_accepts else 1
+
+
+def _add_scheduler_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler", choices=("event", "fixpoint", "compiled"),
+        default=None,
+        help="simulation kernel: 'event' (sensitivity work-list), "
+             "'fixpoint' (blanket reference), 'compiled' (levelized, "
+             "code-generated). Precedence: this flag, then the "
+             "REPRO_SIM_SCHEDULER environment variable, then the "
+             "simulator default")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -229,6 +271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "'store-bitflip:flips=2;channel-stall:cycles=200'")
     p_rec.add_argument("--inject-seed", type=int, default=0,
                        help="seed for the fault plan's random choices")
+    _add_scheduler_arg(p_rec)
     p_rec.set_defaults(func=_cmd_record)
     p_rep = sub.add_parser("replay", help="replay and validate a trace")
     p_rep.add_argument("app")
@@ -250,6 +293,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "'worker-crash:crashes=1' (sharded mode)")
     p_rep.add_argument("--inject-seed", type=int, default=0,
                        help="seed for the fault plan's random choices")
+    _add_scheduler_arg(p_rep)
     p_rep.set_defaults(func=_cmd_replay)
     p_cam = sub.add_parser(
         "campaign", help="seeded fault-injection campaign: inject hundreds "
@@ -260,6 +304,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="checkpoint-yielding app for worker-crash trials")
     p_cam.add_argument("--faults", type=int, default=200)
     p_cam.add_argument("--seed", type=int, default=0)
+    _add_scheduler_arg(p_cam)
     p_cam.set_defaults(func=_cmd_campaign)
 
     # Back-compat: `python -m repro.harness table2` without the

@@ -60,8 +60,8 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
                max_cycles: int = 4_000_000,
                check: bool = True,
                profile: bool = False,
-               before_run: Optional[Callable[[F1Deployment], None]] = None
-               ) -> RunMetrics:
+               before_run: Optional[Callable[[F1Deployment], None]] = None,
+               scheduler: Optional[str] = None) -> RunMetrics:
     """Run one application under R1 or R2 and collect metrics.
 
     Under R2 the recorded trace is attached as ``metrics.result['trace']``.
@@ -69,6 +69,9 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
     comb/seq wall-clock shares, attached as ``result['kernel_profile']``.
     ``before_run`` is called with the fully assembled deployment right
     before it starts running — the hook point checkpoint collection uses.
+    ``scheduler`` picks the simulation kernel (``event``/``fixpoint``/
+    ``compiled``); ``None`` defers to ``REPRO_SIM_SCHEDULER`` and then the
+    :class:`~repro.sim.simulator.Simulator` class default.
     """
     if config.mode is VidiMode.REPLAY:
         raise ConfigError("use replay_run() for replay configurations")
@@ -80,7 +83,8 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
         config = _replace(config, interfaces=tuple(spec.interfaces))
     acc_factory, host_factory = spec.make()
     deployment = F1Deployment(f"run_{spec.key}", acc_factory, config,
-                              env_mode=env_mode, seed=seed)
+                              env_mode=env_mode, seed=seed,
+                              scheduler=scheduler)
     result: dict = {}
     use_scale = spec.default_scale if scale is None else scale
     if spec.stream_workload is not None:
@@ -97,7 +101,17 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
     metrics = RunMetrics(app=spec.key, mode=config.mode.value, seed=seed,
                          cycles=cycles, result=result)
     if profile:
-        metrics.result["kernel_profile"] = deployment.sim.profile_report()
+        sim = deployment.sim
+        metrics.result["kernel_profile"] = sim.profile_report()
+        metrics.result["kernel_stats"] = {
+            "scheduler": sim.scheduler,
+            "comb_evals": sim.comb_evals,
+            "quiescent_cycles": sim.quiescent_cycles,
+            "compile_s": sim.compile_s,
+            "rank_count": sim.rank_count,
+            "demoted_sccs": sim.demoted_sccs,
+            "rank_evals": list(sim.rank_evals),
+        }
     if config.mode is VidiMode.RECORD:
         trace = deployment.recorded_trace({"app": spec.key, "seed": seed})
         metrics.trace_bytes = trace.size_bytes
@@ -122,19 +136,22 @@ def trace_interfaces(trace: TraceFile) -> tuple:
 def replay_run(spec: AppSpec, trace: TraceFile,
                config: Optional[VidiConfig] = None,
                max_cycles: int = 4_000_000,
-               time_warp: Optional[bool] = None) -> RunMetrics:
+               time_warp: Optional[bool] = None,
+               scheduler: Optional[str] = None) -> RunMetrics:
     """Replay a trace against a fresh deployment; returns metrics with the
     validation trace attached as ``result['validation']``.
 
     ``time_warp`` selects the kernel's quiescent-gap skipping (default: on;
     pass ``False`` for the per-cycle reference path the equivalence tests
-    and the replay benchmark compare against).
+    and the replay benchmark compare against). ``scheduler`` picks the
+    simulation kernel, deferring to ``REPRO_SIM_SCHEDULER`` when ``None``.
     """
     acc_factory, _host = spec.make()
     replay_config = config or VidiConfig.r3(
         interfaces=trace_interfaces(trace))
     deployment = F1Deployment(f"replay_{spec.key}", acc_factory, replay_config,
-                              replay_trace=trace, time_warp=time_warp)
+                              replay_trace=trace, time_warp=time_warp,
+                              scheduler=scheduler)
     cycles = deployment.run_replay(max_cycles=max_cycles)
     metrics = RunMetrics(app=spec.key, mode="replay", seed=-1, cycles=cycles)
     if deployment.shim.store is not None:
@@ -211,6 +228,7 @@ class SweepCell:
     seed: int
     scale: Optional[float] = None
     patched_dma: bool = False      # the §3.6 interrupt-patched DRAM DMA
+    scheduler: Optional[str] = None  # simulation kernel for the worker
 
 
 def _cell_spec(cell: SweepCell) -> AppSpec:
@@ -234,7 +252,8 @@ def _cell_config(cell: SweepCell) -> VidiConfig:
 def run_record_cell(cell: SweepCell) -> dict:
     """Worker: one record run; returns a picklable metrics dict."""
     metrics = record_run(_cell_spec(cell), _cell_config(cell),
-                         seed=cell.seed, scale=cell.scale)
+                         seed=cell.seed, scale=cell.scale,
+                         scheduler=cell.scheduler)
     return {
         "app": cell.app,
         "config": cell.config,
@@ -253,9 +272,9 @@ def run_divergence_cell(cell: SweepCell) -> dict:
 
     spec = _cell_spec(cell)
     metrics = record_run(spec, _cell_config(cell), seed=cell.seed,
-                         scale=cell.scale)
+                         scale=cell.scale, scheduler=cell.scheduler)
     trace = metrics.result["trace"]
-    replay = replay_run(spec, trace)
+    replay = replay_run(spec, trace, scheduler=cell.scheduler)
     report = compare_traces(trace, replay.result["validation"])
     return {
         "app": cell.app,

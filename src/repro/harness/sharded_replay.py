@@ -58,6 +58,7 @@ def record_with_checkpoints(spec: AppSpec, config: Optional[VidiConfig] = None,
                             seed: int = 0, scale: Optional[float] = None,
                             max_cycles: int = 4_000_000,
                             stride: int = CHECKPOINT_STRIDE,
+                            scheduler: Optional[str] = None,
                             ) -> Tuple[RunMetrics, Dict[int, Checkpoint]]:
     """Record one run under R2 while harvesting quiescent checkpoints.
 
@@ -96,7 +97,8 @@ def record_with_checkpoints(spec: AppSpec, config: Optional[VidiConfig] = None,
 
     config = config or bench_config(VidiConfig.r2)
     metrics = record_run(spec, config, seed=seed, scale=scale,
-                         max_cycles=max_cycles, before_run=install_hook)
+                         max_cycles=max_cycles, before_run=install_hook,
+                         scheduler=scheduler)
     return metrics, checkpoints
 
 
@@ -140,6 +142,7 @@ class ReplayShardCell:
     checkpoint: Optional[Checkpoint]  # None: segment starts from power-on
     time_warp: Optional[bool] = None
     max_cycles: int = 4_000_000
+    scheduler: Optional[str] = None   # simulation kernel for the worker
 
 
 def run_replay_shard(cell: ReplayShardCell) -> dict:
@@ -152,7 +155,8 @@ def run_replay_shard(cell: ReplayShardCell) -> dict:
     config = VidiConfig.r3(interfaces=trace_interfaces(segment))
     deployment = F1Deployment(f"shard_{spec.key}_{cell.start}", acc_factory,
                               config, replay_trace=segment,
-                              time_warp=cell.time_warp)
+                              time_warp=cell.time_warp,
+                              scheduler=cell.scheduler)
     if cell.checkpoint is not None:
         restore_checkpoint(deployment, cell.checkpoint, restore_host=False)
     cycles = deployment.run_replay(max_cycles=cell.max_cycles)
@@ -197,7 +201,8 @@ def replay_sharded(spec: AppSpec, trace: TraceFile,
                    time_warp: Optional[bool] = None,
                    max_cycles: int = 4_000_000,
                    retries: int = 2,
-                   injector=None) -> ShardedReplayResult:
+                   injector=None,
+                   scheduler: Optional[str] = None) -> ShardedReplayResult:
     """Replay ``trace`` split at checkpointed boundaries across workers.
 
     ``segments`` defaults to ``jobs`` (one segment per worker); ``jobs`` of
@@ -225,7 +230,8 @@ def replay_sharded(spec: AppSpec, trace: TraceFile,
                         body=bytes(index.slice(start, stop)),
                         with_validation=trace.with_validation,
                         start=start, stop=stop, checkpoint=checkpoint,
-                        time_warp=time_warp, max_cycles=max_cycles)
+                        time_warp=time_warp, max_cycles=max_cycles,
+                        scheduler=scheduler)
         for start, stop, checkpoint in plan
     ]
     worker = run_replay_shard

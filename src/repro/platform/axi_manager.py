@@ -73,6 +73,14 @@ class AxiManager(Module):
         self.writes_completed = 0
         self.reads_completed = 0
         self.sensitive_to()
+        self.drives(interface.aw.valid, interface.aw.payload,
+                    interface.w.valid, interface.w.payload,
+                    interface.b.ready, interface.ar.valid,
+                    interface.ar.payload, interface.r.ready)
+        # All sequential work is descriptor progress; every fired check is
+        # gated on an in-flight descriptor.
+        self.seq_idle_when(("none", "_w_desc"), ("falsy", "_write_queue"),
+                           ("none", "_r_desc"), ("falsy", "_read_queue"))
 
     # ------------------------------------------------------------------
     # accelerator-facing API

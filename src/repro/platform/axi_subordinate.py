@@ -55,6 +55,18 @@ class AxiLiteSubordinate(Module):
         self.writes_served = 0
         self.reads_served = 0
         self.sensitive_to()
+        self.drives(interface.aw.ready, interface.w.ready,
+                    interface.b.valid, interface.b.payload,
+                    interface.ar.ready, interface.r.valid,
+                    interface.r.payload)
+        # Idle iff no request presented and nothing latched or pending
+        # (B/R valids are our own comb outputs and are low when idle).
+        self.seq_idle_when(("low", interface.aw.valid),
+                           ("low", interface.w.valid),
+                           ("low", interface.ar.valid),
+                           ("none", "_aw"), ("none", "_w"),
+                           ("falsy", "_b_pending"),
+                           ("none", "_ar"), ("none", "_r_pending"))
 
     # ------------------------------------------------------------------
     def comb(self) -> None:
@@ -187,6 +199,15 @@ class AxiSubordinate(Module):
         self.read_beats = 0
         self.sensitive_to()
         memory.on_write(self.wake)
+        self.drives(interface.aw.ready, interface.w.ready,
+                    interface.b.valid, interface.b.payload,
+                    interface.ar.ready, interface.r.valid,
+                    interface.r.payload)
+        self.seq_idle_when(("low", interface.aw.valid),
+                           ("low", interface.w.valid),
+                           ("low", interface.ar.valid),
+                           ("falsy", "_pending_aw"), ("falsy", "_pending_w"),
+                           ("falsy", "_b_queue"), ("none", "_read_burst"))
 
     # ------------------------------------------------------------------
     def comb(self) -> None:

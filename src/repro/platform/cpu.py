@@ -120,6 +120,7 @@ class MmioPort(Module):
         self.r_sink = self.submodule(ChannelSink(f"{name}.r", interface.r))
         self._queue: Deque[Tuple[Any, Callable[[Any], None]]] = deque()
         self._active: Optional[Tuple[Any, Callable[[Any], None], int]] = None
+        self.seq_idle_when(("none", "_active"), ("falsy", "_queue"))
 
     def submit(self, op, on_complete: Callable[[Any], None]) -> None:
         """Queue one MmioWrite/MmioRead for execution."""
@@ -186,6 +187,12 @@ class PcisDmaEngine(Module):
         # raises READY only when a beat's worth of link credit is granted.
         self.r_sink = self.submodule(ChannelSink(
             f"{name}.r", interface.r, policy=self._r_ready_policy))
+        # With no read burst awaited the READY policy short-circuits to
+        # False before touching PCIe credit, so while READY is already low
+        # and nothing fires the sink's seq() cannot do anything.
+        self.r_sink.seq_idle_when(("nofire", interface.r),
+                                  ("falsy", "_ready_now"),
+                                  ("none", self, "_await_r"))
         self._w_beats_left: List[Tuple[int, int, int]] = []  # (data, strb, last)
         self._queue: Deque[Tuple[Any, Callable[[Any], None]]] = deque()
         self._bursts: List[Tuple] = []     # remaining bursts of the active op
@@ -197,6 +204,11 @@ class PcisDmaEngine(Module):
         self._read_data: List[Tuple[int, int]] = []      # (word, data)
         self._read_op: Optional[DmaRead] = None
         self._bursts_done_addr = 0
+        # Fully drained engine: no beats dribbling, no gap counting down,
+        # no burst awaited, no op active or queued.
+        self.seq_idle_when(("falsy", "_w_beats_left"), ("falsy", "_gap"),
+                           ("none", "_await_b"), ("none", "_await_r"),
+                           ("none", "_callback"), ("falsy", "_queue"))
 
     # ------------------------------------------------------------------
     def submit(self, op, on_complete: Callable[[Any], None]) -> None:

@@ -52,6 +52,20 @@ class HostMemoryController(Module):
         self.read_beats = 0
         self.sensitive_to()
         memory.on_write(self.wake)
+        self.drives(interface.aw.ready, interface.w.ready,
+                    interface.b.valid, interface.b.payload,
+                    interface.ar.ready, interface.r.valid,
+                    interface.r.payload)
+        # seq() is a no-op when no request is presented and no burst or
+        # response is in flight; without a PCIe arbiter the pacing branch
+        # additionally requires the defaults to be already re-asserted.
+        self.seq_idle_when(("low", interface.aw.valid),
+                           ("low", interface.w.valid),
+                           ("low", interface.ar.valid),
+                           ("falsy", "_pending_aw"), ("falsy", "_pending_w"),
+                           ("falsy", "_b_queue"), ("none", "_read_burst"))
+        if pcie is None:
+            self.seq_idle_when(("truthy", "_w_allow"), ("truthy", "_r_paid"))
 
     def _latency(self) -> int:
         if self.jitter <= 0:

@@ -38,10 +38,16 @@ class PcieArbiter(Module):
         super().__init__(name)
         self.capacity = capacity
         self._credit = 0.0
+        self._credit_cap = 4 * BEAT_BYTES
         self._app_used_this_cycle = 0
         self._app_used_last_cycle = 0
         self.total_app_bytes = 0
         self.total_store_bytes = 0
+        # On link-idle cycles seq() only accrues credit; once the credit
+        # sits at its cap there is nothing left to do.
+        self.seq_idle_when(("falsy", "_app_used_this_cycle"),
+                           ("falsy", "_app_used_last_cycle"),
+                           ("sync", "_credit", "_credit_cap"))
 
     def seq(self) -> None:
         self._app_used_last_cycle = self._app_used_this_cycle

@@ -33,6 +33,9 @@ class StreamDriver(Module):
         self._pending: List[List[dict]] = []
         self._wait = 0
         self.packets_sent = 0
+        # Out of packets and not counting down an inter-packet gap: the
+        # remaining early-return in seq() needs no work.
+        self.seq_idle_when(("falsy", "_wait"), ("falsy", "_pending"))
 
     def load_packets(self, packets: List[bytes]) -> None:
         """Queue byte packets for transmission (before or during the run)."""

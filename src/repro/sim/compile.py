@@ -1,0 +1,458 @@
+"""Compiled netlist kernel: levelized static scheduling + generated step.
+
+The ``"compiled"`` scheduler turns the declared sensitivity graph that the
+event kernel interprets at runtime into a *schedule computed once at
+elaboration*, the way Verilator levelizes a netlist:
+
+1. **Levelization** (:func:`levelize`). Every declared comb module is a
+   node; a module that :meth:`~repro.sim.module.Module.drives` a signal
+   another module is :meth:`~repro.sim.module.Module.sensitive_to` gets an
+   edge to that reader. Tarjan's algorithm condenses the graph into
+   strongly connected components; acyclic components are ranked by longest
+   path from the sources (their *level*), while every true combinational
+   cycle — a multi-module SCC or a self-loop — is demoted, alone, to
+   iterative settling at its level. Modules that declared no sensitivity
+   at all stay on the every-pass fallback, exactly as under the event
+   kernel.
+
+2. **Code generation** (:func:`compile_kernel`). From the schedule we
+   assemble the source of one fused per-cycle ``step`` function and
+   ``exec`` it with the schedule's objects bound into its namespace:
+   module tuples per rank, bound ``seq`` methods, the signals read by the
+   declared seq-idle guards. The generated function contains, straight
+   line: the rank-ordered settle (each rank swept once per delta pass,
+   short-circuited by the per-module scheduled flag), iterative settling
+   blocks for demoted SCCs, the sequential calls in elaboration order —
+   each wrapped in its module's inlined ``seq_idle_when`` guard when one
+   was declared — an inlined register commit replicating
+   ``Signal._commit``, and the quiescent / time-warp fast paths of the
+   event kernel (the warp block is emitted only for warp-eligible
+   designs).
+
+Correctness story: ``comb()`` processes are required to be idempotent and
+confluent (the contract the event/fixpoint differential tests already
+enforce), so evaluation *order* only affects how many delta passes are
+needed, never the fixpoint reached. The generated settle still iterates
+until the work-list drains, so even a wrong rank assignment (missing
+``drives()`` declarations, say) costs extra passes, not wrong values.
+Sequential order, commit order and hook order are preserved exactly.
+
+The compile is lazy — it happens on the first ``step()`` — so profiling
+wrappers installed by ``enable_profiling()`` are captured; enabling
+profiling after stepping invalidates the kernel and forces a recompile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CombinationalLoopError, SimulationError
+from repro.sim.module import Module
+from repro.sim.signal import Signal
+
+
+class Stage:
+    """One settle stage: a rank of independent modules or a demoted SCC."""
+
+    __slots__ = ("modules", "iterative", "level")
+
+    def __init__(self, modules: Sequence[Module], iterative: bool, level: int):
+        self.modules = tuple(modules)
+        self.iterative = iterative
+        self.level = level
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "scc" if self.iterative else "rank"
+        return f"<Stage {kind} level={self.level} n={len(self.modules)}>"
+
+
+class Levelization:
+    """The static schedule: ordered stages plus the fallback lists."""
+
+    def __init__(self, stages: List[Stage], always: List[Module],
+                 dynamic: List[Module]):
+        self.stages = stages
+        self.always = list(always)
+        self.dynamic = list(dynamic)
+
+    @property
+    def rank_count(self) -> int:
+        return len(self.stages)
+
+    @property
+    def demoted_sccs(self) -> int:
+        return sum(1 for s in self.stages if s.iterative)
+
+
+def _tarjan(nodes: Sequence[Module],
+            adj: Dict[int, List[Module]]) -> List[List[Module]]:
+    """Tarjan SCC, iterative (module graphs can outgrow Python's stack).
+
+    Returns the components in reverse topological order of the
+    condensation (every successor component before its predecessors).
+    """
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    stack: List[Module] = []
+    sccs: List[List[Module]] = []
+    counter = 0
+    for root in nodes:
+        if id(root) in index:
+            continue
+        work: List[Tuple[Module, int]] = [(root, 0)]
+        while work:
+            node, edge_i = work.pop()
+            nid = id(node)
+            if edge_i == 0:
+                index[nid] = low[nid] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[nid] = True
+            advanced = False
+            succs = adj.get(nid, ())
+            while edge_i < len(succs):
+                succ = succs[edge_i]
+                sid = id(succ)
+                edge_i += 1
+                if sid not in index:
+                    work.append((node, edge_i))
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack.get(sid):
+                    if low[sid] < low[nid]:
+                        low[nid] = low[sid]
+            if advanced:
+                continue
+            if low[nid] == index[nid]:
+                comp: List[Module] = []
+                while True:
+                    top = stack.pop()
+                    on_stack[id(top)] = False
+                    comp.append(top)
+                    if top is node:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                pid = id(parent)
+                if low[nid] < low[pid]:
+                    low[pid] = low[nid]
+    return sccs
+
+
+def levelize(declared: Sequence[Module], always: Sequence[Module],
+             dynamic: Sequence[Module]) -> Levelization:
+    """Rank the declared comb modules by their drives → sensitivity edges."""
+    by_id = {id(m): m for m in declared}
+    adj: Dict[int, List[Module]] = {}
+    self_loops = set()   # module drives a signal it is sensitive to
+    for module in declared:
+        out: List[Module] = []
+        seen = set()
+        for sig in (module._drives or ()):
+            for reader in sig._fanout:
+                rid = id(reader)
+                if reader is module:
+                    self_loops.add(rid)
+                    continue
+                if rid not in by_id or rid in seen:
+                    continue
+                seen.add(rid)
+                out.append(reader)
+        adj[id(module)] = out
+    sccs = _tarjan(list(declared), adj)
+    scc_of: Dict[int, int] = {}
+    for ci, comp in enumerate(sccs):
+        for m in comp:
+            scc_of[id(m)] = ci
+    # Tarjan emits components in reverse topological order; walking the
+    # emission list backwards visits predecessors before successors, so a
+    # single sweep computes longest-path levels.
+    level = [0] * len(sccs)
+    for ci in range(len(sccs) - 1, -1, -1):
+        for m in sccs[ci]:
+            for succ in adj[id(m)]:
+                si = scc_of[id(succ)]
+                if si != ci and level[ci] + 1 > level[si]:
+                    level[si] = level[ci] + 1
+    # A component is a true combinational cycle (and demoted to iterative
+    # settling) when it has several members or a self-loop.
+    stages: List[Stage] = []
+    plain: Dict[int, List[Module]] = {}
+    for ci, comp in enumerate(sccs):
+        module = comp[0]
+        cyclic = len(comp) > 1 or id(module) in self_loops
+        if cyclic:
+            comp.sort(key=lambda m: m._order)
+            stages.append(Stage(comp, True, level[ci]))
+        else:
+            plain.setdefault(level[ci], []).append(module)
+    for lvl, mods in plain.items():
+        mods.sort(key=lambda m: m._order)
+        stages.append(Stage(mods, False, lvl))
+    stages.sort(key=lambda s: (s.level, s.modules[0]._order))
+    return Levelization(stages, list(always), list(dynamic))
+
+
+# ----------------------------------------------------------------------
+# seq-idle guard expressions
+# ----------------------------------------------------------------------
+
+def _attr_expr(mod_name: str, path: str) -> str:
+    if not path or not all(p.isidentifier() for p in path.split(".")):
+        raise SimulationError(f"bad attribute path in seq_idle_when: {path!r}")
+    return f"{mod_name}.{path}"
+
+
+def _guard_expr(module: Module, mod_name: str,
+                bind: "_Binder") -> Optional[str]:
+    """The inlined idle conjunction for one module, or None (always run)."""
+    terms = module._seq_idle
+    if not terms:
+        return None
+    parts: List[str] = []
+    for term in terms:
+        kind = term[0]
+        # Attribute-path kinds accept an optional explicit base object
+        # (("falsy", obj, "path")) for guards that read another module's
+        # state — e.g. a sink whose READY policy closes over its owner.
+        if kind in ("falsy", "truthy", "none") and len(term) == 3:
+            base, path = bind(term[1]), term[2]
+            if kind == "falsy":
+                parts.append(f"not {_attr_expr(base, path)}")
+            elif kind == "truthy":
+                parts.append(_attr_expr(base, path))
+            else:
+                parts.append(f"{_attr_expr(base, path)} is None")
+            continue
+        if kind == "low":
+            sig = term[1]
+            if not isinstance(sig, Signal):
+                raise SimulationError(
+                    f"{module.name}: ('low', …) wants a Signal, got {sig!r}")
+            parts.append(f"not {bind(sig)}._value")
+        elif kind == "nofire":
+            ch = term[1]
+            valid = getattr(ch, "valid", None)
+            ready = getattr(ch, "ready", None)
+            if not isinstance(valid, Signal) or not isinstance(ready, Signal):
+                raise SimulationError(
+                    f"{module.name}: ('nofire', …) wants a Channel, got {ch!r}")
+            parts.append(
+                f"not ({bind(valid)}._value and {bind(ready)}._value)")
+        elif kind == "falsy":
+            parts.append(f"not {_attr_expr(mod_name, term[1])}")
+        elif kind == "truthy":
+            parts.append(_attr_expr(mod_name, term[1]))
+        elif kind == "none":
+            parts.append(f"{_attr_expr(mod_name, term[1])} is None")
+        elif kind == "sync":
+            parts.append(f"{_attr_expr(mod_name, term[1])} == "
+                         f"{_attr_expr(mod_name, term[2])}")
+        else:
+            raise SimulationError(
+                f"{module.name}: unknown seq_idle_when term kind {kind!r}")
+    return " and ".join(parts)
+
+
+class _Binder:
+    """Interns objects into the generated function's namespace."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.names: Dict[int, str] = {}
+        self.namespace: Dict[str, object] = {}
+
+    def __call__(self, obj: object) -> str:
+        name = self.names.get(id(obj))
+        if name is None:
+            name = f"_{self.prefix}{len(self.names)}"
+            self.names[id(obj)] = name
+            self.namespace[name] = obj
+        return name
+
+
+# ----------------------------------------------------------------------
+# code generation
+# ----------------------------------------------------------------------
+
+class CompiledKernel:
+    """Handle for one generated step function plus its schedule metadata."""
+
+    def __init__(self, step, source: str, levelization: Levelization,
+                 guarded_seq: int, total_seq: int):
+        self.step = step
+        self.source = source
+        self.levelization = levelization
+        self.guarded_seq = guarded_seq
+        self.total_seq = total_seq
+
+
+def compile_kernel(sim) -> CompiledKernel:
+    """Levelize ``sim``'s declared comb graph and generate its step."""
+    lev = levelize(sim._event_comb, sim._always_comb, sim._dynamic_comb)
+    sim.rank_count = lev.rank_count
+    sim.demoted_sccs = lev.demoted_sccs
+    # One in-place-zeroable counter per stage (reset() clears them).
+    sim.rank_evals = [0] * lev.rank_count
+
+    ns: Dict[str, object] = {
+        "_S": sim,
+        "_CombLoop": CombinationalLoopError,
+        "_hooks": sim._cycle_hooks,
+        "_revs": sim.rank_evals,
+        "_md": sim.max_delta,
+    }
+    sigbind = _Binder("g")
+    src: List[str] = ["def _step(warp_limit=None):", "    S = _S"]
+    emit = src.append
+
+    has_always = bool(lev.always)
+    has_dynamic = bool(lev.dynamic)
+    if has_dynamic:
+        ns["_dyn"] = tuple(lev.dynamic)
+        emit("    pend = S._pending")
+        emit("    for m in _dyn:")
+        emit("        if not m._comb_scheduled:")
+        emit("            m._comb_scheduled = True")
+        emit("            pend.append(m)")
+    active = "S._pending or True" if has_always else "S._pending"
+    emit(f"    if {active}:")
+
+    # --- settle: rank-ordered sweeps inside the delta-pass loop ---
+    emit("        evals = 0")
+    emit("        for _p in range(_md):")
+    emit("            S._pending = []")
+    emit("            S._dirty = False")
+    for si, stage in enumerate(lev.stages):
+        name = f"_stage{si}"
+        ns[name] = stage.modules
+        emit(f"            n{si} = evals")
+        if stage.iterative:
+            emit("            for _i in range(_md):")
+            emit("                prog = False")
+            emit(f"                for m in {name}:")
+            emit("                    if m._comb_scheduled:")
+            emit("                        m._comb_scheduled = False")
+            emit("                        m.comb()")
+            emit("                        evals += 1")
+            emit("                        prog = True")
+            emit("                if not prog:")
+            emit("                    break")
+            emit("            else:")
+            emit("                raise _CombLoop(")
+            emit(f"                    '%s: combinational cycle %s did not "
+                 f"settle in %d passes'")
+            emit(f"                    % (S.name, {stage.modules[0].name!r},"
+                 " _md))")
+        else:
+            emit(f"            for m in {name}:")
+            emit("                if m._comb_scheduled:")
+            emit("                    m._comb_scheduled = False")
+            emit("                    m.comb()")
+            emit("                    evals += 1")
+        emit(f"            _revs[{si}] += evals - n{si}")
+    if has_always:
+        ns["_alw"] = tuple(lev.always)
+        emit("            for m in _alw:")
+        emit("                m.comb()")
+        emit(f"            evals += {len(lev.always)}")
+    emit("            live = False")
+    emit("            for m in S._pending:")
+    emit("                if m._comb_scheduled:")
+    emit("                    live = True")
+    emit("                    break")
+    if has_always:
+        emit("            if not live and not S._dirty:")
+    else:
+        emit("            if not live:")
+    emit("                if S._pending:")
+    emit("                    S._pending = []")
+    emit("                break")
+    emit("        else:")
+    emit("            raise _CombLoop(")
+    emit("                '%s: combinational logic did not settle in "
+         "%d delta passes at cycle %d' % (S.name, _md, S.cycle))")
+    emit("        S.comb_evals += evals")
+    emit("        settled = True")
+    emit("    else:")
+    emit("        S.quiescent_cycles += 1")
+    emit("        settled = False")
+
+    # --- time warp (only for warp-eligible designs) ---
+    if sim._warp_ok:
+        ns["_nws"] = tuple(m.next_wake for m in sim._seq_modules)
+        ns["_whooks"] = tuple(sim._warp_hooks)
+        emit("        if S._quiet_streak and not _hooks:")
+        emit("            cyc = S.cycle")
+        emit("            target = None")
+        emit("            for nw in _nws:")
+        emit("                hint = nw(cyc)")
+        emit("                if hint is None:")
+        emit("                    continue")
+        emit("                if hint <= cyc:")
+        emit("                    target = None")
+        emit("                    break")
+        emit("                if target is None or hint < target:")
+        emit("                    target = hint")
+        emit("            if target is not None:")
+        emit("                if warp_limit is not None and "
+             "target > warp_limit - 1:")
+        emit("                    target = warp_limit - 1")
+        emit("                gap = target - cyc")
+        emit("                if gap > 0:")
+        emit("                    S.cycle = target")
+        emit("                    S.warped_cycles += gap")
+        emit("                    S.warp_jumps += 1")
+        emit("                    for wm in _whooks:")
+        emit("                        wm.on_warp(gap)")
+
+    # --- sequential phase: straight line, elaboration order ---
+    guarded = 0
+    for mi, module in enumerate(sim._seq_modules):
+        mod_name = f"_m{mi}"
+        seq_name = f"_q{mi}"
+        ns[seq_name] = module.seq
+        guard = _guard_expr(module, mod_name, sigbind)
+        if guard is None:
+            emit(f"    {seq_name}()")
+        else:
+            ns[mod_name] = module
+            guarded += 1
+            emit(f"    if not ({guard}):")
+            emit(f"        {seq_name}()")
+
+    # --- inlined commit (replicates Signal._commit) ---
+    emit("    staged = S._staged")
+    emit("    if staged:")
+    emit("        committed = True")
+    emit("        pend = S._pending")
+    emit("        for sig in staged:")
+    emit("            nxt = sig._next")
+    emit("            if nxt is None:")
+    emit("                continue")
+    emit("            sig._next = None")
+    emit("            if nxt != sig._value:")
+    emit("                sig._value = nxt")
+    emit("                for m in sig._fanout:")
+    emit("                    if not m._comb_scheduled:")
+    emit("                        m._comb_scheduled = True")
+    emit("                        pend.append(m)")
+    emit("        staged.clear()")
+    emit("    else:")
+    emit("        committed = False")
+    emit("    S._quiet_streak = not settled and not committed")
+    emit("    S.cycle += 1")
+    emit("    if _hooks:")
+    emit("        cyc = S.cycle")
+    emit("        for hook in _hooks:")
+    emit("            hook(cyc)")
+
+    ns.update(sigbind.namespace)
+    source = "\n".join(src) + "\n"
+    code = compile(source, f"<compiled-kernel:{sim.name}>", "exec")
+    exec(code, ns)
+    return CompiledKernel(ns["_step"], source, lev, guarded,
+                          len(sim._seq_modules))

@@ -42,6 +42,37 @@ A module that declares sensitivity but reads an undeclared signal in
 ``comb()`` will compute stale outputs — the differential harness in
 ``tests/test_scheduler_equivalence.py`` exists to catch exactly that.
 
+Static-scheduling declarations (compiled kernel)
+------------------------------------------------
+
+The ``"compiled"`` scheduler levelizes the declared sensitivity graph at
+elaboration time and generates a fused per-cycle step function
+(:mod:`repro.sim.compile`). Two further declarations feed that pass; both
+are optional and purely performance hints — undeclared modules stay
+correct, they just get the conservative treatment:
+
+* ``self.drives(sig, ...)`` — the signals ``comb()`` combinationally
+  drives. Together with ``sensitive_to`` this yields the module-level
+  dependency edges the levelizer ranks; a module without ``drives()``
+  simply contributes no out-edges (its readers may settle one delta pass
+  later, which the outer fixpoint loop absorbs).
+* ``self.seq_idle_when(term, ...)`` — a conjunction of conditions under
+  which this module's ``seq()`` is provably a no-op, letting the compiled
+  kernel skip the call entirely on idle cycles. Terms:
+
+  - ``("low", signal)`` — the signal's current value is 0;
+  - ``("nofire", channel)`` — the channel handshake does not complete
+    this cycle (VALID and READY not both high);
+  - ``("falsy", "attr.path")`` / ``("truthy", "attr.path")`` — a Python
+    attribute chain on the module is falsy / truthy;
+  - ``("none", "attr.path")`` — the attribute chain is ``None``;
+  - ``("sync", "attr.a", "attr.b")`` — two attribute chains compare equal
+    (version-cache idioms).
+
+  Declaring a condition that can be true while ``seq()`` still has work
+  is a correctness bug — exactly the class of error the 3-way
+  differential harness exists to catch.
+
 Time-warp declarations (quiescent-gap skipping)
 -----------------------------------------------
 
@@ -91,6 +122,8 @@ class Module:
         self._signals: List[Signal] = []
         self._children: List["Module"] = []
         self._sensitivity: Optional[List[Signal]] = None
+        self._drives: Optional[List[Signal]] = None
+        self._seq_idle: Optional[List[tuple]] = None
         self._sim = None
         # True while the module sits on the simulator's comb work-list.
         # The event scheduler clears it as it evaluates; the fixpoint
@@ -131,6 +164,27 @@ class Module:
         if self._sensitivity is None:
             self._sensitivity = []
         self._sensitivity.extend(signals)
+
+    def drives(self, *signals: Signal) -> None:
+        """Declare the signals this module's ``comb()`` drives.
+
+        Consumed by the compiled scheduler's levelization pass; see the
+        module docstring. May be called several times (each call appends).
+        """
+        if self._drives is None:
+            self._drives = []
+        self._drives.extend(signals)
+
+    def seq_idle_when(self, *terms: tuple) -> None:
+        """Declare conditions under which ``seq()`` is provably a no-op.
+
+        The conjunction of all declared terms gates the generated
+        ``seq()`` call in the compiled kernel; see the module docstring
+        for the term grammar. May be called several times (appends).
+        """
+        if self._seq_idle is None:
+            self._seq_idle = []
+        self._seq_idle.extend(terms)
 
     def wake(self) -> None:
         """Schedule a ``comb()`` re-evaluation (idempotent).

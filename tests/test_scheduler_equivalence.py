@@ -1,9 +1,10 @@
-"""Differential harness: event-driven scheduler vs. the fixpoint reference.
+"""Differential harness: event and compiled schedulers vs. the fixpoint
+reference.
 
-The event-driven kernel is a pure scheduling optimisation — it decides
-*when* ``comb()`` processes re-evaluate, never *what* they compute. These
-tests prove that by running whole applications under both schedulers and
-comparing everything observable:
+The event-driven and compiled kernels are pure scheduling optimisations —
+they decide *when* ``comb()``/``seq()`` processes run, never *what* they
+compute. These tests prove that by running whole applications under all
+three schedulers and comparing everything observable:
 
 * the per-cycle hash of every signal value in the design (so a divergence
   is caught in the exact cycle it appears, not just at the end),
@@ -66,17 +67,22 @@ def _run_with_history(app_key: str, scheduler: str, seed: int) -> dict:
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("app_key", APPS)
 def test_schedulers_bit_identical(app_key, seed):
-    event = _run_with_history(app_key, "event", seed)
+    """Three-way differential: fixpoint is the reference semantics; both
+    optimised kernels must reproduce it bit for bit."""
     fixpoint = _run_with_history(app_key, "fixpoint", seed)
-
-    assert event["cycles"] == fixpoint["cycles"]
-    if event["history"] != fixpoint["history"]:
-        first = next(i for i, (a, b) in enumerate(
-            zip(event["history"], fixpoint["history"])) if a != b)
-        pytest.fail(f"{app_key} seed={seed}: signal state diverged "
-                    f"at cycle {first + 1}")
-    assert event["trace_bytes"] == fixpoint["trace_bytes"]
-    assert event["result"] == fixpoint["result"]
+    for scheduler in ("event", "compiled"):
+        run = _run_with_history(app_key, scheduler, seed)
+        assert run["cycles"] == fixpoint["cycles"], (
+            f"{app_key} seed={seed}: {scheduler} cycle count differs")
+        if run["history"] != fixpoint["history"]:
+            first = next(i for i, (a, b) in enumerate(
+                zip(run["history"], fixpoint["history"])) if a != b)
+            pytest.fail(f"{app_key} seed={seed}: {scheduler} signal state "
+                        f"diverged at cycle {first + 1}")
+        assert run["trace_bytes"] == fixpoint["trace_bytes"], (
+            f"{app_key} seed={seed}: {scheduler} trace bytes differ")
+        assert run["result"] == fixpoint["result"], (
+            f"{app_key} seed={seed}: {scheduler} app result differs")
 
 
 def test_event_scheduler_actually_skips_work():
@@ -85,3 +91,12 @@ def test_event_scheduler_actually_skips_work():
     event = _run_with_history("sha256", "event", SEEDS[0])
     fixpoint = _run_with_history("sha256", "fixpoint", SEEDS[0])
     assert event["comb_evals"] < fixpoint["comb_evals"] / 10
+
+
+def test_compiled_scheduler_actually_skips_work():
+    """Same non-vacuousness check for the compiled kernel: levelized
+    sweeps plus quiescence must cut comb evaluations by an order of
+    magnitude versus the blanket fixpoint loop."""
+    compiled = _run_with_history("sha256", "compiled", SEEDS[0])
+    fixpoint = _run_with_history("sha256", "fixpoint", SEEDS[0])
+    assert compiled["comb_evals"] < fixpoint["comb_evals"] / 10
