@@ -1,21 +1,25 @@
 # Development entry points. `make check` is the pre-merge gate: the full
 # tier-1 test suite, the throughput benches (which enforce the
-# event-scheduler, compiled-kernel and time-warp speedup floors and
-# refresh BENCH_kernel.json / BENCH_compiled.json / BENCH_replay.json),
-# and the fault campaign (200 seeded faults across every kind; fails on
-# any silent wrong-accept).
+# event-scheduler, compiled-kernel, batch-kernel and time-warp speedup
+# floors and refresh BENCH_kernel.json / BENCH_compiled.json /
+# BENCH_batch.json / BENCH_replay.json), and the fault campaign (200
+# seeded faults across every kind; fails on any silent wrong-accept).
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 
-.PHONY: check test test-schedulers bench-kernel bench-compiled bench-replay \
-        bench artifacts faults
+.PHONY: check test test-schedulers bench-kernel bench-compiled bench-batch \
+        bench-replay bench artifacts faults faults-batched
 
-check: test bench-kernel bench-compiled bench-replay faults
+check: test bench-kernel bench-compiled bench-batch bench-replay faults
 
 faults:          ## seeded 200-fault injection campaign (containment gate)
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 	  $(PYTHON) -m repro.harness campaign --faults 200 --seed 0
+
+faults-batched:  ## batched campaign smoke: record legs 16 per batch kernel
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+	  $(PYTHON) -m repro.harness campaign --faults 60 --seed 0 --batch-size 16
 
 test:            ## tier-1: the full unit/integration suite
 	$(PYTEST) -x -q
@@ -26,8 +30,11 @@ test-schedulers: ## the 3-way differential + levelization suites (CI matrix)
 bench-kernel:    ## kernel throughput + BENCH_kernel.json (speedup gate)
 	$(PYTEST) benchmarks/test_simulator_throughput.py -q -s
 
-bench-compiled:  ## compiled kernel + BENCH_compiled.json (>=1.5x gate)
+bench-compiled:  ## compiled kernel + BENCH_compiled.json (per-leg gates)
 	$(PYTEST) benchmarks/test_compiled_kernel.py -q -s
+
+bench-batch:     ## batched campaign kernel + BENCH_batch.json (>=4x gate)
+	$(PYTEST) benchmarks/test_batch_kernel.py -q -s
 
 bench-replay:    ## replay throughput + BENCH_replay.json (time-warp gate)
 	$(PYTEST) benchmarks/test_replay_speed.py -q -s

@@ -1,0 +1,92 @@
+"""Infrastructure bench — batched campaign throughput over scalar runs.
+
+Not a paper artefact: documents the payoff of the numpy batch kernel
+(``repro.sim.batch``) on the workload it was built for — a sweep of
+N structurally-identical record runs differing only in their seed,
+which is exactly the shape of a fault campaign or a Table-1 sweep.
+The scalar baseline is N back-to-back :func:`record_run` calls on the
+compiled kernel (the previous best); the batched side is one
+:func:`record_batch` call packing all N simulators behind a single
+:class:`~repro.sim.batch.BatchKernel`.
+
+The equivalence suite (``tests/test_batch_kernel.py``) proves the two
+paths bit-identical; this bench additionally cross-checks the recorded
+trace bytes so the speedup is never bought with divergence. Results
+land in ``benchmarks/results/BENCH_batch.json``; the ≥4× floor at
+N=16 is part of ``make check``.
+"""
+
+import json
+from time import perf_counter
+
+from conftest import RESULTS_DIR
+
+from repro.apps.registry import get_app
+from repro.core import VidiConfig
+from repro.harness.batch_runner import record_batch
+from repro.harness.runner import bench_config, record_run
+
+BATCH_N = 16        # the gated batch width (DEFAULT_BATCH_SIZE)
+DEPLOY_SCALE = 4.0  # long enough that stepping dominates construction
+SPEEDUP_FLOOR = 4.0
+
+
+def test_batch_kernel_throughput(emit):
+    spec = get_app("mobilenet")
+    config = bench_config(VidiConfig.r2)
+    seeds = list(range(BATCH_N))
+
+    t0 = perf_counter()
+    scalar_metrics = [
+        record_run(spec, config, seed, scale=DEPLOY_SCALE,
+                   scheduler="compiled")
+        for seed in seeds
+    ]
+    t_scalar = perf_counter() - t0
+
+    t0 = perf_counter()
+    batch_metrics = record_batch(spec, config, seeds, scale=DEPLOY_SCALE)
+    t_batch = perf_counter() - t0
+
+    # The speedup must never be bought with divergence: same cycles, same
+    # trace bytes, instance by instance.
+    for scalar, batched in zip(scalar_metrics, batch_metrics):
+        assert batched.cycles == scalar.cycles
+        assert (batched.result["trace"].to_bytes()
+                == scalar.result["trace"].to_bytes())
+
+    total_cycles = sum(m.cycles for m in scalar_metrics)
+    speedup = t_scalar / t_batch
+    report = {
+        "batched_record_campaign": {
+            "app": "mobilenet",
+            "config": "r2(five-interface)",
+            "batch_size": BATCH_N,
+            "cycles_per_instance": total_cycles // BATCH_N,
+            "scalar_s": round(t_scalar, 3),
+            "batch_s": round(t_batch, 3),
+            "scalar_cycles_per_sec": round(total_cycles / t_scalar),
+            "batch_cycles_per_sec": round(total_cycles / t_batch),
+            "speedup": round(speedup, 2),
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_batch.json").write_text(
+        json.dumps(report, indent=2) + "\n")
+
+    emit("batch_kernel", "\n".join([
+        f"Batched campaign throughput (N={BATCH_N} record runs, mobilenet, "
+        f"scale {DEPLOY_SCALE})",
+        f"  scalar compiled: {t_scalar:6.2f}s  "
+        f"({total_cycles / t_scalar:>12,.0f} cycles/s)",
+        f"  batched kernel:  {t_batch:6.2f}s  "
+        f"({total_cycles / t_batch:>12,.0f} cycles/s)",
+        f"  speedup {speedup:.2f}x  (floor {SPEEDUP_FLOOR}x)",
+        "[also saved to benchmarks/results/BENCH_batch.json]",
+    ]))
+
+    # The acceptance bar for the batch kernel: at least 4x over N scalar
+    # compiled-kernel runs at the default batch width.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch kernel speedup regressed: {speedup:.2f}x")

@@ -9,7 +9,9 @@ back and checked against a pure-software golden model.
 
 from __future__ import annotations
 
+import hashlib
 import random
+import struct
 from typing import Dict
 
 from repro.apps.base import REG_ARG0, Accelerator
@@ -56,32 +58,58 @@ def sha256_pad(message: bytes) -> bytes:
 
 
 def sha256_compress(state, block: bytes):
-    """One SHA-256 compression; returns the new state tuple."""
-    w = list(int.from_bytes(block[i:i + 4], "big") for i in range(0, 64, 4))
+    """One SHA-256 compression; returns the new state tuple.
+
+    The rotates are inlined (a call per rotate costs more than the rotate)
+    and the schedule words are unpacked in one go — this runs per block in
+    both the accelerator model and the fallback software chain.
+    """
+    w = list(struct.unpack(">16I", block))
+    append = w.append
     for i in range(16, 64):
-        s0 = _rotr(w[i - 15], 7) ^ _rotr(w[i - 15], 18) ^ (w[i - 15] >> 3)
-        s1 = _rotr(w[i - 2], 17) ^ _rotr(w[i - 2], 19) ^ (w[i - 2] >> 10)
-        w.append((w[i - 16] + s0 + w[i - 7] + s1) & _M32)
+        x = w[i - 15]
+        s0 = ((x >> 7 | x << 25) ^ (x >> 18 | x << 14) ^ (x >> 3)) & _M32
+        x = w[i - 2]
+        s1 = ((x >> 17 | x << 15) ^ (x >> 19 | x << 13) ^ (x >> 10)) & _M32
+        append((w[i - 16] + s0 + w[i - 7] + s1) & _M32)
     a, b, c, d, e, f, g, h = state
-    for i in range(64):
-        s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
-        ch = (e & f) ^ (~e & g)
-        temp1 = (h + s1 + ch + _K[i] + w[i]) & _M32
-        s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
-        maj = (a & b) ^ (a & c) ^ (b & c)
-        temp2 = (s0 + maj) & _M32
+    for k, wi in zip(_K, w):
+        s1 = ((e >> 6 | e << 26) ^ (e >> 11 | e << 21)
+              ^ (e >> 25 | e << 7)) & _M32
+        temp1 = h + s1 + ((e & f) ^ (~e & g)) + k + wi
+        s0 = ((a >> 2 | a << 30) ^ (a >> 13 | a << 19)
+              ^ (a >> 22 | a << 10)) & _M32
+        temp2 = s0 + ((a & b) ^ (a & c) ^ (b & c))
         a, b, c, d, e, f, g, h = (
             (temp1 + temp2) & _M32, a, b, c, (d + temp1) & _M32, e, f, g)
     return tuple((x + y) & _M32 for x, y in zip(state, (a, b, c, d, e, f, g, h)))
 
 
-def sha256_digest(message: bytes) -> bytes:
-    """Golden model: the full hash in software."""
+def sha256_chain(padded: bytes) -> bytes:
+    """Raw compression chain over already-padded blocks (the FPGA datapath).
+
+    When the input is recognizably standard-padded the chain result equals
+    ``hashlib.sha256`` of the recovered message, so the C implementation
+    answers; any other block stream (short, trailing garbage, test vectors)
+    falls back to the per-block software chain. Either way the output is
+    bit-identical to compressing block by block.
+    """
+    n = len(padded)
+    if n and n % 64 == 0:
+        bits = int.from_bytes(padded[-8:], "big")
+        if bits % 8 == 0:
+            length = bits >> 3
+            if length <= n - 9 and sha256_pad(padded[:length]) == padded:
+                return hashlib.sha256(padded[:length]).digest()
     state = tuple(_H0)
-    padded = sha256_pad(message)
-    for offset in range(0, len(padded), 64):
+    for offset in range(0, n, 64):
         state = sha256_compress(state, padded[offset:offset + 64])
     return b"".join(word.to_bytes(4, "big") for word in state)
+
+
+def sha256_digest(message: bytes) -> bytes:
+    """Golden model: the full hash in software."""
+    return sha256_chain(sha256_pad(message))
 
 
 class Sha256Accelerator(Accelerator):
@@ -91,12 +119,12 @@ class Sha256Accelerator(Accelerator):
         msg_addr = self.regs[REG_MSG_ADDR]
         n_blocks = self.regs[REG_MSG_BLOCKS]
         out_addr = self.regs[REG_OUT_ADDR]
-        state = tuple(_H0)
+        blocks = []
         for block_index in range(n_blocks):
-            block = self.dram.read_bytes(msg_addr + 64 * block_index, 64)
-            state = sha256_compress(state, block)
+            blocks.append(
+                self.dram.read_bytes(msg_addr + 64 * block_index, 64))
             yield 64   # one compression round per cycle
-        digest = b"".join(word.to_bytes(4, "big") for word in state)
+        digest = sha256_chain(b"".join(blocks))
         self.dram.write_bytes(out_addr, digest.ljust(64, b"\0"))
         yield 1
 

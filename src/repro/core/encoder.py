@@ -38,6 +38,9 @@ class TraceEncoder(Module):
     """Builds one cycle packet per eventful cycle and streams it to the store."""
 
     has_comb = False
+    # Idle (empty cycle packet) can only end via the record_*/reserve_*
+    # entry points below, each of which pokes seq_wake().
+    burn_idle = True
 
     def __init__(self, name: str, table: ChannelTable, store: TraceStore,
                  record_output_contents: bool = True):
@@ -112,6 +115,7 @@ class TraceEncoder(Module):
         self._packet.contents[index] = content
         self._reserved_bytes += self._end_cost(index)
         self.events_recorded += 1
+        self.seq_wake()
 
     def reserve_end(self, index: int) -> None:
         """Eagerly reserve the end-record slot for an output transaction."""
@@ -128,6 +132,7 @@ class TraceEncoder(Module):
                 f"encoder {self.name!r}: reservation accounting went negative"
             )
         self.events_recorded += 1
+        self.seq_wake()
 
     # ------------------------------------------------------------------
     def seq(self) -> None:

@@ -44,6 +44,10 @@ class ChannelMonitor(Module):
     """
 
     comb_static = True
+    # The idle guard below names the two VALID wires (watched by the
+    # batched kernel) and _committed, which only this module mutates while
+    # it is running — so a parked monitor is woken by wire activity alone.
+    burn_idle = True
 
     def __init__(self, name: str, index: int, up: Channel, down: Channel,
                  encoder: TraceEncoder, direction: str,

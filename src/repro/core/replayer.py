@@ -27,7 +27,7 @@ interface.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.channels.handshake import Channel
 from repro.core.decoder import CompactFeed, ReplayAction, ReplayElement
@@ -46,6 +46,9 @@ class ReplayCoordinator:
         # first). The replay progress watchdog reads this to pin down where
         # a livelocked replay last made forward progress.
         self.last_progress_cycle: Optional[int] = None
+        # Every replayer sharing this clock; a completion broadcast pokes
+        # them all so batch-parked replayers re-evaluate their gates.
+        self.replayers: List["ChannelReplayer"] = []
 
     def complete(self, index: int, cycle: Optional[int] = None) -> None:
         """Broadcast that one more transaction finished on ``index``."""
@@ -53,6 +56,8 @@ class ReplayCoordinator:
         self.version += 1
         if cycle is not None:
             self.last_progress_cycle = cycle
+        for replayer in self.replayers:
+            replayer.seq_wake()
 
 
 def compile_elements(feed: Sequence[ReplayElement], direction: str,
@@ -85,6 +90,31 @@ def compile_elements(feed: Sequence[ReplayElement], direction: str,
     return actions
 
 
+def _delta_needs(actions: Sequence[ReplayAction]
+                 ) -> List[Tuple[Tuple[int, int], ...]]:
+    """Per-action delta prerequisites: entries grown since the previous action.
+
+    ``needs[j]`` lists ``(channel, count)`` pairs for exactly the clock
+    entries where ``actions[j].expected`` exceeds ``actions[j-1].expected``
+    (all nonzero entries for ``j == 0``). Checking only these against
+    ``T_current`` is equivalent to the full componentwise ``geq`` whenever
+    every earlier action of the feed has already been consumed — the
+    sequential walk's invariant — because satisfied entries of a monotone
+    clock stay satisfied.
+    """
+    needs: List[Tuple[Tuple[int, int], ...]] = []
+    prev: Optional[List[int]] = None
+    for action in actions:
+        exp = action.expected.counts
+        if prev is None:
+            needs.append(tuple((i, c) for i, c in enumerate(exp) if c))
+        else:
+            needs.append(tuple((i, c) for i, c in enumerate(exp)
+                               if c > prev[i]))
+        prev = exp
+    return needs
+
+
 class ChannelReplayer(Module):
     """Replays one channel's recorded transaction events.
 
@@ -94,6 +124,10 @@ class ChannelReplayer(Module):
     """
 
     comb_static = True
+    # The idle guard's ``nofire`` term names the channel wires (watched by
+    # the batched kernel); the coordinator-version term is covered by the
+    # completion broadcast, which pokes every registered replayer.
+    burn_idle = True
 
     def __init__(self, name: str, index: int, channel: Channel,
                  coordinator: ReplayCoordinator, direction: str,
@@ -111,6 +145,15 @@ class ChannelReplayer(Module):
             self.actions = compile_elements(
                 feed, direction, len(coordinator.current), name)
         self._action_pos = 0
+        # Delta prerequisites: for action j, only the clock entries that
+        # grew since action j-1 (the ``expected`` sequence is a prefix-sum
+        # walk, hence componentwise nondecreasing along one feed). The
+        # sequential walk consumes actions in order, so when it stands at
+        # action j, action j-1's full clock was satisfied at consume time
+        # and — ``T_current`` being monotone — still is; checking the
+        # delta entries is therefore equivalent to the full ``geq``, at
+        # O(entries that changed) instead of O(channels) per re-check.
+        self._needs = _delta_needs(self.actions)
         # Input-side sender state.
         self._pending_contents: List[int] = []
         self._current: Optional[int] = None
@@ -118,7 +161,6 @@ class ChannelReplayer(Module):
         self._ready_credits = 0
         self.replayed_transactions = 0
         self.validation_contents: List[bytes] = []
-        self._satisfied_version = -1  # cache key for the vector comparison
         # Coordinator version at which the action walk last came up empty
         # (blocked or exhausted). While it still matches, and our channel
         # did not fire, seq() is provably a no-op — the guard the compiled
@@ -131,6 +173,7 @@ class ChannelReplayer(Module):
             self.drives(channel.ready)
         self.seq_idle_when(("nofire", channel),
                            ("sync", "_blocked_version", "coordinator.version"))
+        coordinator.replayers.append(self)
 
     # ------------------------------------------------------------------
     @property
@@ -157,6 +200,12 @@ class ChannelReplayer(Module):
         else:
             channel.ready.drive(1 if self._ready_credits > 0 else 0)
 
+    def _credit_underflow(self) -> None:
+        raise ReplayError(
+            f"{self.name}: output transaction completed without "
+            "a replay credit"
+        )
+
     def seq(self) -> None:
         channel = self.channel
         # 1. Observe actual completion on our channel and broadcast it.
@@ -166,31 +215,37 @@ class ChannelReplayer(Module):
             else:
                 self._ready_credits -= 1
                 if self._ready_credits < 0:
-                    raise ReplayError(
-                        f"{self.name}: output transaction completed without "
-                        "a replay credit"
-                    )
+                    self._credit_underflow()
                 self.validation_contents.append(channel.payload_bytes())
             self.replayed_transactions += 1
             self.coordinator.complete(
                 self.index,
                 self._sim.cycle if self._sim is not None else None)
             self.wake()   # _current/_ready_credits changed
-        # 2. Consume as many actions as the vector clocks allow.
+        # 2. Consume as many actions as the vector clocks allow. The delta
+        # prerequisites stand in for the full ``geq`` (see
+        # :func:`_delta_needs`); ``T_current``'s count list is mutated in
+        # place, so one snapshot of it stays live across the walk.
         actions = self.actions
+        needs = self._needs
         n_actions = len(actions)
         is_input = self.direction == "in"
-        while self._action_pos < n_actions:
-            action = actions[self._action_pos]
-            if not self._clocks_satisfied(action.expected):
-                break
-            if is_input:
-                self._pending_contents.append(action.word)
+        counts = self.coordinator.current.counts
+        pos = self._action_pos
+        while pos < n_actions:
+            for index, count in needs[pos]:
+                if counts[index] < count:
+                    break
             else:
-                self._ready_credits += 1
-            self.wake()
-            self._action_pos += 1
-            self._satisfied_version = -1  # next action: re-evaluate
+                if is_input:
+                    self._pending_contents.append(actions[pos].word)
+                else:
+                    self._ready_credits += 1
+                self.wake()
+                pos += 1
+                continue
+            break
+        self._action_pos = pos
         # The walk stopped: blocked on a prerequisite or out of actions.
         # Either way nothing more can happen until the shared clock moves.
         self._blocked_version = self.coordinator.version
@@ -201,6 +256,64 @@ class ChannelReplayer(Module):
         # broadcast is always made on a cycle with channel activity, which
         # blocks warping until the cycle after we have observed it.
         return None
+
+    # ------------------------------------------------------------------
+    # compiled-kernel inlining (the replay datapath)
+    # ------------------------------------------------------------------
+    def seq_inline_key(self):
+        return self.direction
+
+    def seq_inline_source(self, ctx) -> List[str]:
+        """Direction-specialised :meth:`seq` body for the compiled kernel.
+
+        The fired observation and the vector-clock action walk are spliced
+        straight into the fused step function: no bound-method frame, no
+        ``fired`` property dispatch, and the delta-prerequisite check runs
+        directly over the raw count lists. Every state transition matches
+        :meth:`seq` line for line; the scheduler differential tests hold
+        the two bit-identical.
+        """
+        m = ctx.mod_name
+        valid = ctx.bind(self.channel.valid)
+        ready = ctx.bind(self.channel.ready)
+        lines = [f"if {valid}._value and {ready}._value:"]
+        if self.direction == "in":
+            lines += [f"    {m}._current = None"]
+        else:
+            lines += [
+                f"    {m}._ready_credits -= 1",
+                f"    if {m}._ready_credits < 0:",
+                f"        {m}._credit_underflow()",
+                f"    {m}.validation_contents.append("
+                f"{m}.channel.payload_bytes())",
+            ]
+        consume = (f"{m}._pending_contents.append("
+                   f"{m}.actions[_rpos].word)"
+                   if self.direction == "in"
+                   else f"{m}._ready_credits += 1")
+        lines += [
+            f"    {m}.replayed_transactions += 1",
+            f"    {m}.coordinator.complete({m}.index, S.cycle)",
+            f"    {m}.wake()",
+            f"_rco = {m}.coordinator",
+            f"_rneeds = {m}._needs",
+            f"_rpos = {m}._action_pos",
+            "if _rpos < len(_rneeds):",
+            "    _rcur = _rco.current.counts",
+            "    while _rpos < len(_rneeds):",
+            "        for _ri, _rc in _rneeds[_rpos]:",
+            "            if _rcur[_ri] < _rc:",
+            "                break",
+            "        else:",
+            f"            {consume}",
+            f"            {m}.wake()",
+            "            _rpos += 1",
+            "            continue",
+            "        break",
+            f"    {m}._action_pos = _rpos",
+            f"{m}._blocked_version = _rco.version",
+        ]
+        return lines
 
     # ------------------------------------------------------------------
     def pending_report(self, channel_names: Optional[Sequence[str]] = None
@@ -241,17 +354,6 @@ class ChannelReplayer(Module):
                 report["waiting_on"] = waiting
         return report
 
-    # ------------------------------------------------------------------
-    def _clocks_satisfied(self, expected: VectorClock) -> bool:
-        """``T_current >= expected``, cached until either side changes."""
-        version = self.coordinator.version
-        if self._satisfied_version == version:
-            return True
-        if self.coordinator.current.geq(expected):
-            self._satisfied_version = version
-            return True
-        return False
-
     def reset_state(self) -> None:
         super().reset_state()
         self._action_pos = 0
@@ -260,5 +362,4 @@ class ChannelReplayer(Module):
         self._ready_credits = 0
         self.replayed_transactions = 0
         self.validation_contents.clear()
-        self._satisfied_version = -1
         self._blocked_version = -1

@@ -23,7 +23,7 @@ order and the simulator executes them in add order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.channels.axi import CHANNEL_ORDER, AxiInterface
 from repro.channels.handshake import Channel, PassThrough
@@ -84,6 +84,7 @@ class VidiShim(Module):
         self.monitors: List[ChannelMonitor] = []
         self.replayers: List[ChannelReplayer] = []
         self.coordinator: Optional[ReplayCoordinator] = None
+        self._replay_done_cache: Optional[Tuple[int, bool]] = None
         self.store: Optional[TraceStore] = None
         self.encoder: Optional[TraceEncoder] = None
 
@@ -233,8 +234,24 @@ class VidiShim(Module):
     # ------------------------------------------------------------------
     @property
     def replay_done(self) -> bool:
-        """All replayers consumed their feeds and have nothing in flight."""
-        return all(r.done for r in self.replayers)
+        """All replayers consumed their feeds and have nothing in flight.
+
+        Cached on the coordinator version: a replayer's done-status only
+        moves in a cycle where some handshake fired, and every fire
+        broadcasts a completion (bumping the version) — so between bumps
+        the answer cannot change and the per-cycle ``run_until`` predicate
+        costs one comparison instead of a sweep over every replayer.
+        """
+        coordinator = self.coordinator
+        if coordinator is None:
+            return all(r.done for r in self.replayers)
+        version = coordinator.version
+        cached = self._replay_done_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        result = all(r.done for r in self.replayers)
+        self._replay_done_cache = (version, result)
+        return result
 
     def progress_token(self) -> int:
         """Monotone token that changes whenever replay makes progress.

@@ -103,6 +103,7 @@ class TraceStore(Module):
         self._staged.append(packet)
         self._staged_bytes += len(packet)
         self.total_packet_bytes += len(packet)
+        self.seq_wake()   # draining must resume
 
     # ------------------------------------------------------------------
     def seq(self) -> None:
@@ -155,6 +156,17 @@ class TraceStore(Module):
             self._drain_credit = min(
                 self._drain_credit + gap * round(self.bandwidth * CREDIT_SCALE),
                 round(4 * self.bandwidth * CREDIT_SCALE))
+
+    def seq_burn(self, cycle):
+        # Tighter than the next_wake derivation: idle-credit accrual under
+        # an arbiter (or a brownout window) depends on *that cycle's* link
+        # state, so the store only parks once the credit has saturated at
+        # its cap — from there every skipped cycle is an exact no-op
+        # (accept() pokes when staging refills). Saturation takes at most
+        # four idle cycles, so the per-cycle tail is negligible.
+        if not self._staged and self._drain_credit == self._idle_credit_cap:
+            return None
+        return 0
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

@@ -46,6 +46,12 @@ _WEIGHTS = {
 }
 _MAX_CRASH_TRIALS = 3
 
+# Fault kinds whose trial starts with a fresh record run — the legs a
+# batched campaign packs into one BatchKernel (same app, same seed, only
+# the armed fault plan differs between instances).
+_RECORD_KINDS = ("store-bitflip", "store-drop", "store-brownout",
+                 "channel-stall")
+
 
 @dataclass(frozen=True)
 class FaultTrial:
@@ -105,6 +111,40 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _draw_plan(kind: str, trial_seed: int, rng: random.Random) -> FaultPlan:
+    """Draw one trial's fault parameters.
+
+    The draws consume ``rng`` in exactly the order the trial handlers
+    historically did, so a campaign's fault-for-fault schedule is
+    unchanged by the prepass that now materialises every plan up front
+    (which is what lets the record legs run batched).
+    """
+    if kind == "blob-truncate":
+        return FaultPlan.single(kind, seed=trial_seed,
+                                keep=rng.uniform(0.02, 0.98))
+    if kind == "blob-corrupt":
+        return FaultPlan.single(kind, seed=trial_seed,
+                                bytes=rng.randint(1, 4))
+    if kind == "store-bitflip":
+        return FaultPlan.single(kind, seed=trial_seed,
+                                flips=rng.randint(1, 4))
+    if kind == "store-drop":
+        return FaultPlan.single(kind, seed=trial_seed,
+                                words=rng.randint(1, 2))
+    if kind == "store-brownout":
+        return FaultPlan.single(
+            kind, seed=trial_seed, factor=rng.uniform(0.0, 0.5),
+            start=rng.randint(0, 500), cycles=rng.randint(200, 2000))
+    if kind == "channel-stall":
+        return FaultPlan.single(
+            kind, seed=trial_seed, start=rng.randint(50, 1500),
+            cycles=rng.randint(50, 400))
+    if kind == "worker-crash":
+        return FaultPlan.single(kind, seed=trial_seed,
+                                crashes=rng.randint(1, 2))
+    raise ReproError(f"unknown fault kind {kind!r}")
+
+
 def _schedule(n_faults: int, rng: random.Random) -> List[str]:
     """A deterministic fault-kind sequence covering every kind."""
     counts = {k: int(n_faults * w) for k, w in _WEIGHTS.items()}
@@ -150,10 +190,52 @@ class _Campaign:
         rep = self.replay_run(self.spec, self.ref_trace)
         self.ref_validation_body = bytes(rep.result["validation"].body)
         self._crash_reference = None   # lazily recorded (it is expensive)
+        # index -> (RunMetrics | exception, FaultInjector), filled by
+        # prerecord() when the campaign runs its record legs batched.
+        self._prerecorded: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def prerecord(self, record_trials: List[tuple], batch_size: int) -> None:
+        """Batch-record the simulation-layer trials' faulted record legs.
+
+        ``record_trials`` is ``[(index, kind, plan), ...]``. Every leg is
+        the same app and seed with a different fault plan armed, so they
+        pack into one :class:`~repro.sim.batch.BatchKernel`; the recorded
+        traces are bit-identical to the scalar legs, so the per-trial
+        verdicts cannot change. Failures are kept per instance and
+        re-raised when the owning trial consumes its leg.
+        """
+        if not record_trials:
+            return
+        from repro.harness.batch_runner import BatchRunner
+
+        self.progress(f"batch-recording {len(record_trials)} faulted "
+                      f"record leg(s), {batch_size} per kernel")
+        injectors = [FaultInjector(plan) for _, _, plan in record_trials]
+        runner = BatchRunner(batch_size=batch_size, scheduler=self.scheduler)
+        results = runner.record_batch(
+            self.spec, self.config, seeds=[self.seed] * len(record_trials),
+            before_run=lambda dep, i: injectors[i].arm_recording(dep),
+            on_error="return")
+        for (index, _kind, _plan), metrics, injector in zip(
+                record_trials, results, injectors):
+            self._prerecorded[index] = (metrics, injector)
+
+    def _record_leg(self, index: int, plan: FaultPlan):
+        """The trial's faulted record run: prerecorded batch leg or scalar."""
+        if index in self._prerecorded:
+            metrics, injector = self._prerecorded.pop(index)
+            if isinstance(metrics, BaseException):
+                raise metrics
+            return metrics, injector
+        injector = FaultInjector(plan)
+        metrics = self.record_run(self.spec, self.config, seed=self.seed,
+                                  before_run=injector.arm_recording)
+        return metrics, injector
 
     # ------------------------------------------------------------------
     def run_trial(self, index: int, kind: str, trial_seed: int,
-                  rng: random.Random) -> FaultTrial:
+                  plan: FaultPlan) -> FaultTrial:
         handler = {
             "blob-corrupt": self._trial_blob,
             "blob-truncate": self._trial_blob,
@@ -163,21 +245,15 @@ class _Campaign:
             "channel-stall": self._trial_timing,
             "worker-crash": self._trial_crash,
         }[kind]
-        outcome, detail = handler(kind, trial_seed, rng)
+        outcome, detail = handler(index, kind, plan)
         return FaultTrial(index=index, kind=kind, seed=trial_seed,
                           outcome=outcome, detail=detail)
 
     # ------------------------------------------------------------------
-    def _trial_blob(self, kind: str, trial_seed: int, rng: random.Random):
+    def _trial_blob(self, index: int, kind: str, plan: FaultPlan):
         from repro.core.trace_file import TraceFile
         from repro.errors import TraceFormatError
 
-        if kind == "blob-truncate":
-            plan = FaultPlan.single(kind, seed=trial_seed,
-                                    keep=rng.uniform(0.02, 0.98))
-        else:
-            plan = FaultPlan.single(kind, seed=trial_seed,
-                                    bytes=rng.randint(1, 4))
         injector = FaultInjector(plan)
         mangled = injector.mangle_blob(self.ref_blob)
         if mangled == self.ref_blob:
@@ -213,18 +289,10 @@ class _Campaign:
                 "packet(s)")
 
     # ------------------------------------------------------------------
-    def _trial_store(self, kind: str, trial_seed: int, rng: random.Random):
+    def _trial_store(self, index: int, kind: str, plan: FaultPlan):
         from repro.core.divergence import compare_traces
 
-        if kind == "store-bitflip":
-            plan = FaultPlan.single(kind, seed=trial_seed,
-                                    flips=rng.randint(1, 4))
-        else:
-            plan = FaultPlan.single(kind, seed=trial_seed,
-                                    words=rng.randint(1, 2))
-        injector = FaultInjector(plan)
-        metrics = self.record_run(self.spec, self.config, seed=self.seed,
-                                  before_run=injector.arm_recording)
+        metrics, _injector = self._record_leg(index, plan)
         corrupted = metrics.result["trace"]
         if bytes(corrupted.body) == bytes(self.ref_trace.body):
             return "masked", "corruption cancelled out"
@@ -244,23 +312,13 @@ class _Campaign:
             "clean replay but outputs differ from the fault-free reference")
 
     # ------------------------------------------------------------------
-    def _trial_timing(self, kind: str, trial_seed: int, rng: random.Random):
+    def _trial_timing(self, index: int, kind: str, plan: FaultPlan):
         from repro.core.divergence import compare_traces
 
-        if kind == "store-brownout":
-            plan = FaultPlan.single(
-                kind, seed=trial_seed, factor=rng.uniform(0.0, 0.5),
-                start=rng.randint(0, 500), cycles=rng.randint(200, 2000))
-        else:
-            plan = FaultPlan.single(
-                kind, seed=trial_seed, start=rng.randint(50, 1500),
-                cycles=rng.randint(50, 400))
-        injector = FaultInjector(plan)
         try:
             # check=True: the host program's own result assertion runs, so
             # a timing fault that corrupted application data cannot pass.
-            metrics = self.record_run(self.spec, self.config, seed=self.seed,
-                                      before_run=injector.arm_recording)
+            metrics, injector = self._record_leg(index, plan)
             trace = metrics.result["trace"]
             rep = self.replay_run(self.spec, trace, max_cycles=400_000)
             report = compare_traces(trace, rep.result["validation"])
@@ -274,15 +332,13 @@ class _Campaign:
             f"timing fault leaked into replay: {report.summary()}")
 
     # ------------------------------------------------------------------
-    def _trial_crash(self, kind: str, trial_seed: int, rng: random.Random):
+    def _trial_crash(self, index: int, kind: str, plan: FaultPlan):
         result = self._crash_ref()
         if result is None:
             return "masked", "crash trial skipped: no shardable trace"
         spec, metrics, checkpoints, clean_body = result
         from repro.harness.sharded_replay import replay_sharded
 
-        plan = FaultPlan.single(kind, seed=trial_seed,
-                                crashes=rng.randint(1, 2))
         injector = FaultInjector(plan)
         try:
             sharded = replay_sharded(
@@ -328,7 +384,8 @@ class _Campaign:
 def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
                  crash_app: str = "dram_dma",
                  progress: Optional[Callable[[str], None]] = None,
-                 scheduler: Optional[str] = None) -> CampaignReport:
+                 scheduler: Optional[str] = None,
+                 batch_size: Optional[int] = None) -> CampaignReport:
     """Run a seeded fault campaign; see the module docstring for verdicts.
 
     ``app`` hosts the cheap per-trial record/replay faults; ``crash_app``
@@ -337,14 +394,32 @@ def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
     reproduces the identical campaign, fault for fault. ``scheduler``
     selects the simulation kernel every trial runs on (``None`` defers to
     ``REPRO_SIM_SCHEDULER`` and then the simulator default).
+
+    ``batch_size`` > 1 packs the simulation-layer trials' faulted record
+    legs — same app and seed, differing only by fault plan — into
+    :class:`~repro.sim.batch.BatchKernel` batches of that width before
+    the trial loop runs. The recorded traces are bit-identical to the
+    scalar legs', so the report is fault-for-fault identical either way;
+    only the campaign's wall-clock changes.
     """
     rng = random.Random(seed)
     campaign = _Campaign(app, seed, crash_app, progress, scheduler=scheduler)
     report = CampaignReport(app=app, seed=seed)
     kinds = _schedule(n_faults, rng)
+    # Materialise every trial's seed and plan up front (one rng pass, in
+    # trial order — the same consumption order the handlers used to draw
+    # in), so the record legs are known before the first trial runs.
+    trials = []
     for index, kind in enumerate(kinds):
         trial_seed = rng.randrange(1 << 30)
-        trial = campaign.run_trial(index, kind, trial_seed, rng)
+        trials.append((index, kind, trial_seed,
+                       _draw_plan(kind, trial_seed, rng)))
+    if batch_size and batch_size > 1:
+        campaign.prerecord(
+            [(i, k, plan) for i, k, _s, plan in trials
+             if k in _RECORD_KINDS], batch_size)
+    for index, kind, trial_seed, plan in trials:
+        trial = campaign.run_trial(index, kind, trial_seed, plan)
         report.trials.append(trial)
         if progress and (index + 1) % 25 == 0:
             progress(f"{index + 1}/{len(kinds)} faults injected")

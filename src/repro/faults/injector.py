@@ -133,6 +133,7 @@ class FaultInjector:
             def apply_stall(on: bool, monitor=monitor):
                 monitor.fault_stalled = on
                 monitor.wake()
+                monitor.seq_wake()
 
             windows.append(_Window(
                 spec["start"], spec["cycles"], apply_stall,

@@ -162,6 +162,13 @@ def _render_kernel_stats(stats: dict) -> str:
         evals = ", ".join(f"r{i}={n}" for i, n in
                           enumerate(stats["rank_evals"]))
         lines.append(f"per-rank comb evals: {evals or '(none)'}")
+        cache = stats.get("schedule_cache")
+        if cache is not None:
+            hit = "hit" if stats.get("schedule_cache_hit") else "miss"
+            lines.append(
+                f"schedule cache: {hit} for this run "
+                f"({cache['hits']} hit(s), {cache['misses']} miss(es), "
+                f"{cache['entries']} cached schedule(s) in-process)")
     return "\n".join(lines)
 
 
@@ -225,6 +232,7 @@ def _cmd_campaign(args) -> int:
     report = run_campaign(app=args.app, n_faults=args.faults, seed=args.seed,
                           crash_app=args.crash_app,
                           scheduler=args.scheduler,
+                          batch_size=args.batch_size,
                           progress=lambda msg: print(f"  {msg}"))
     print(report.render())
     return 0 if not report.silent_accepts else 1
@@ -304,6 +312,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="checkpoint-yielding app for worker-crash trials")
     p_cam.add_argument("--faults", type=int, default=200)
     p_cam.add_argument("--seed", type=int, default=0)
+    p_cam.add_argument("--batch-size", type=int, default=None, metavar="N",
+                       help="pack the simulation-layer trials' faulted "
+                            "record legs N at a time behind one batch "
+                            "kernel (bit-identical verdicts, less "
+                            "wall-clock)")
     _add_scheduler_arg(p_cam)
     p_cam.set_defaults(func=_cmd_campaign)
 

@@ -18,6 +18,7 @@ from repro.core.trace_file import TraceFile
 from repro.errors import ConfigError, ShardReplayError
 from repro.platform.env import EnvironmentMode
 from repro.platform.shell import F1Deployment
+from repro.sim.compile import schedule_cache_stats
 
 # Benchmark deployment profile: a store with tighter staging and the
 # bandwidth left over after the application's own PCIe traffic (the paper's
@@ -54,24 +55,19 @@ def bench_config(mode_factory: Callable[..., VidiConfig], **overrides) -> VidiCo
     return mode_factory(**overrides)
 
 
-def record_run(spec: AppSpec, config: VidiConfig, seed: int,
-               scale: Optional[float] = None,
-               env_mode: EnvironmentMode = EnvironmentMode.HARDWARE,
-               max_cycles: int = 4_000_000,
-               check: bool = True,
-               profile: bool = False,
-               before_run: Optional[Callable[[F1Deployment], None]] = None,
-               scheduler: Optional[str] = None) -> RunMetrics:
-    """Run one application under R1 or R2 and collect metrics.
+def build_record_deployment(
+        spec: AppSpec, config: VidiConfig, seed: int,
+        scale: Optional[float] = None,
+        env_mode: EnvironmentMode = EnvironmentMode.HARDWARE,
+        scheduler: Optional[str] = None,
+) -> tuple:
+    """Assemble one record-mode deployment; returns (deployment, result, config).
 
-    Under R2 the recorded trace is attached as ``metrics.result['trace']``.
-    With ``profile=True`` the simulation kernel collects per-module
-    comb/seq wall-clock shares, attached as ``result['kernel_profile']``.
-    ``before_run`` is called with the fully assembled deployment right
-    before it starts running — the hook point checkpoint collection uses.
-    ``scheduler`` picks the simulation kernel (``event``/``fixpoint``/
-    ``compiled``); ``None`` defers to ``REPRO_SIM_SCHEDULER`` and then the
-    :class:`~repro.sim.simulator.Simulator` class default.
+    This is the construction half of :func:`record_run`, split out so the
+    batched runner can build N identical instances and drive them behind
+    one :class:`~repro.sim.batch.BatchKernel`. ``result`` is the dict the
+    host program fills in; ``config`` comes back with the app's declared
+    interface boundary applied.
     """
     if config.mode is VidiMode.REPLAY:
         raise ConfigError("use replay_run() for replay configurations")
@@ -91,15 +87,58 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
         deployment.stream_driver.load_packets(
             spec.stream_workload(seed, use_scale))
     deployment.cpu.add_thread(host_factory(result, seed=seed, scale=use_scale))
+    return deployment, result, config
+
+
+def finish_record_metrics(spec: AppSpec, config: VidiConfig,
+                          deployment: F1Deployment, result: dict,
+                          seed: int, cycles: int,
+                          check: bool = True) -> RunMetrics:
+    """Post-run half of :func:`record_run`: check, measure, attach the trace."""
+    if check:
+        spec.check(result)
+    metrics = RunMetrics(app=spec.key, mode=config.mode.value, seed=seed,
+                         cycles=cycles, result=result)
+    if config.mode is VidiMode.RECORD:
+        trace = deployment.recorded_trace({"app": spec.key, "seed": seed})
+        metrics.trace_bytes = trace.size_bytes
+        metrics.stored_bytes = deployment.shim.store.stored_size_bytes
+        metrics.store_stall_cycles = deployment.shim.store.stall_cycles
+        metrics.monitored_transactions = sum(
+            m.transactions for m in deployment.shim.monitors)
+        metrics.result["trace"] = trace
+    return metrics
+
+
+def record_run(spec: AppSpec, config: VidiConfig, seed: int,
+               scale: Optional[float] = None,
+               env_mode: EnvironmentMode = EnvironmentMode.HARDWARE,
+               max_cycles: int = 4_000_000,
+               check: bool = True,
+               profile: bool = False,
+               before_run: Optional[Callable[[F1Deployment], None]] = None,
+               scheduler: Optional[str] = None) -> RunMetrics:
+    """Run one application under R1 or R2 and collect metrics.
+
+    Under R2 the recorded trace is attached as ``metrics.result['trace']``.
+    With ``profile=True`` the simulation kernel collects per-module
+    comb/seq wall-clock shares, attached as ``result['kernel_profile']``.
+    ``before_run`` is called with the fully assembled deployment right
+    before it starts running — the hook point checkpoint collection uses.
+    ``scheduler`` picks the simulation kernel (``event``/``fixpoint``/
+    ``compiled``); ``None`` defers to ``REPRO_SIM_SCHEDULER`` and then the
+    :class:`~repro.sim.simulator.Simulator` class default.
+    """
+    deployment, result, config = build_record_deployment(
+        spec, config, seed, scale=scale, env_mode=env_mode,
+        scheduler=scheduler)
     if profile:
         deployment.sim.enable_profiling()
     if before_run is not None:
         before_run(deployment)
     cycles = deployment.run_to_completion(max_cycles=max_cycles)
-    if check:
-        spec.check(result)
-    metrics = RunMetrics(app=spec.key, mode=config.mode.value, seed=seed,
-                         cycles=cycles, result=result)
+    metrics = finish_record_metrics(spec, config, deployment, result,
+                                    seed, cycles, check=check)
     if profile:
         sim = deployment.sim
         metrics.result["kernel_profile"] = sim.profile_report()
@@ -111,15 +150,9 @@ def record_run(spec: AppSpec, config: VidiConfig, seed: int,
             "rank_count": sim.rank_count,
             "demoted_sccs": sim.demoted_sccs,
             "rank_evals": list(sim.rank_evals),
+            "schedule_cache_hit": sim.schedule_cache_hit,
+            "schedule_cache": schedule_cache_stats(),
         }
-    if config.mode is VidiMode.RECORD:
-        trace = deployment.recorded_trace({"app": spec.key, "seed": seed})
-        metrics.trace_bytes = trace.size_bytes
-        metrics.stored_bytes = deployment.shim.store.stored_size_bytes
-        metrics.store_stall_cycles = deployment.shim.store.stall_cycles
-        metrics.monitored_transactions = sum(
-            m.transactions for m in deployment.shim.monitors)
-        metrics.result["trace"] = trace
     return metrics
 
 

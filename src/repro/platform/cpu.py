@@ -122,9 +122,13 @@ class MmioPort(Module):
         self._active: Optional[Tuple[Any, Callable[[Any], None], int]] = None
         self.seq_idle_when(("none", "_active"), ("falsy", "_queue"))
 
+    # Idle means no op active or queued; only submit() changes that.
+    burn_idle = True
+
     def submit(self, op, on_complete: Callable[[Any], None]) -> None:
         """Queue one MmioWrite/MmioRead for execution."""
         self._queue.append((op, on_complete))
+        self.seq_wake()
 
     @property
     def idle(self) -> bool:
@@ -210,10 +214,14 @@ class PcisDmaEngine(Module):
                            ("none", "_await_b"), ("none", "_await_r"),
                            ("none", "_callback"), ("falsy", "_queue"))
 
+    # Fully drained (the guard below) stays a no-op until submit() pokes.
+    burn_idle = True
+
     # ------------------------------------------------------------------
     def submit(self, op, on_complete: Callable[[Any], None]) -> None:
         """Queue one DmaWrite/DmaRead for execution."""
         self._queue.append((op, on_complete))
+        self.seq_wake()
 
     @property
     def idle(self) -> bool:
@@ -325,6 +333,8 @@ class PcisDmaEngine(Module):
                 self.ar_src.send({"addr": burst_addr, "len": n_beats - 1,
                                   "size": 6, "id": 0})
                 self._await_r = (len(self.r_sink.received), n_beats)
+                # The read sink's idle guard reads _await_r; un-park it.
+                self.r_sink.seq_wake()
                 self._bursts_done_addr = burst_addr
             return
         # Finish the active op.
@@ -401,6 +411,10 @@ class CpuModel(Module):
                 seed=None if seed is None else seed + 1, pcie=pcie)
             self.submodule(self.dma)
         self._threads: List[dict] = []
+        # WaitHostWord threads park until the awaited flag could have
+        # changed — any host-memory mutation un-parks the CPU (a no-op
+        # outside the batched kernel).
+        host_memory.on_write(self.seq_wake)
 
     # ------------------------------------------------------------------
     def add_thread(self, program: HostProgram, name: str = "") -> None:
@@ -434,6 +448,7 @@ class CpuModel(Module):
         def complete(result):
             thread["state"] = "ready"
             thread["result"] = result
+            self.seq_wake()   # the blocked thread parked the CPU
 
         if isinstance(op, (MmioWrite, MmioRead)):
             port = self.mmio_ports.get(op.interface)
@@ -503,3 +518,47 @@ class CpuModel(Module):
                 thread["think"] = think
             else:
                 self._dispatch(thread, op)
+
+    # ------------------------------------------------------------------
+    # batched-backend burn declarations
+    # ------------------------------------------------------------------
+    def seq_burn(self, cycle: int) -> Optional[int]:
+        """Cycles seq() may skip: the tightest deadline over all threads.
+
+        A thinking thread only decrements ``think`` until it hits zero; a
+        WaitCycles thread only decrements its countdown — both are pure
+        per-cycle bookkeeping that :meth:`on_burn` replays in one step, so
+        the RNG (consulted only on dispatch cycles, which are never
+        skipped) and every observable dispatch cycle stay bit-identical.
+        Engine-blocked threads park until the completion callback pokes;
+        WaitHostWord threads park until a host-memory write pokes.
+        """
+        best: Optional[int] = None
+        for thread in self._threads:
+            state = thread["state"]
+            if state == "done":
+                continue
+            if state == "ready":
+                return 0
+            if state == "thinking":
+                grant = thread["think"] - 1
+            else:  # blocked
+                wait = thread["wait"]
+                if wait is None or wait[0] == "hostword":
+                    continue   # parked until poked
+                grant = wait[1] - 1
+            if grant <= 0:
+                return 0
+            if best is None or grant < best:
+                best = grant
+        return best
+
+    def on_burn(self, elapsed: int) -> None:
+        """Replay the per-cycle countdowns the skipped cycles would have run."""
+        for thread in self._threads:
+            if thread["state"] == "thinking":
+                thread["think"] -= elapsed
+            elif thread["state"] == "blocked":
+                wait = thread["wait"]
+                if wait is not None and wait[0] == "cycles":
+                    wait[1] -= elapsed

@@ -35,6 +35,7 @@ class WordMemory:
         self.word_bytes = word_bytes
         self._words: Dict[int, int] = {}
         self._full_strobe = (1 << word_bytes) - 1
+        self._strobe_masks: Dict[int, int] = {}  # strobe -> byte mask
         # Modules whose comb() reads this memory (AXI read-data paths)
         # register a callback so writes from *any* party — DMA engines,
         # host threads, accelerators — re-schedule them.
@@ -74,10 +75,13 @@ class WordMemory:
         if strobe == self._full_strobe:
             self._words[index] = data & ((1 << (8 * self.word_bytes)) - 1)
         else:
-            byte_mask = 0
-            for i in range(self.word_bytes):
-                if (strobe >> i) & 1:
-                    byte_mask |= 0xFF << (8 * i)
+            byte_mask = self._strobe_masks.get(strobe)
+            if byte_mask is None:
+                byte_mask = 0
+                for i in range(self.word_bytes):
+                    if (strobe >> i) & 1:
+                        byte_mask |= 0xFF << (8 * i)
+                self._strobe_masks[strobe] = byte_mask
             old = self._words.get(index, 0)
             self._words[index] = (old & ~byte_mask) | (data & byte_mask)
         for callback in self._write_listeners:
@@ -88,20 +92,38 @@ class WordMemory:
     # ------------------------------------------------------------------
     def read_bytes(self, addr: int, length: int) -> bytes:
         """Read ``length`` bytes starting at arbitrary byte address ``addr``."""
-        out = bytearray()
-        for offset in range(length):
-            byte_addr = addr + offset
-            word = self.read_word((byte_addr // self.word_bytes) * self.word_bytes)
-            out.append((word >> (8 * (byte_addr % self.word_bytes))) & 0xFF)
-        return bytes(out)
+        if length <= 0:
+            return b""
+        wb = self.word_bytes
+        first = (addr // wb) * wb
+        last = ((addr + length - 1) // wb) * wb
+        get = self._words.get
+        check = self._check
+        blob = b"".join(
+            get(check(word_addr), 0).to_bytes(wb, "little")
+            for word_addr in range(first, last + wb, wb))
+        offset = addr - first
+        return blob[offset:offset + length]
 
     def write_bytes(self, addr: int, data: bytes) -> None:
-        """Write raw bytes starting at arbitrary byte address ``addr``."""
-        for offset, byte in enumerate(data):
-            byte_addr = addr + offset
-            word_addr = (byte_addr // self.word_bytes) * self.word_bytes
-            lane = byte_addr % self.word_bytes
-            self.write_word(word_addr, byte << (8 * lane), strobe=1 << lane)
+        """Write raw bytes starting at arbitrary byte address ``addr``.
+
+        Whole-word runs collapse into one strobed word write each; the
+        resulting storage (and the write-listener wakes) match the
+        byte-at-a-time AXI semantics exactly.
+        """
+        wb = self.word_bytes
+        pos = 0
+        length = len(data)
+        while pos < length:
+            byte_addr = addr + pos
+            word_addr = (byte_addr // wb) * wb
+            lane = byte_addr - word_addr
+            n = min(wb - lane, length - pos)
+            value = int.from_bytes(data[pos:pos + n], "little") << (8 * lane)
+            self.write_word(word_addr, value,
+                            strobe=((1 << n) - 1) << lane)
+            pos += n
 
     def clear(self) -> None:
         """Zero the whole memory (power-on state)."""

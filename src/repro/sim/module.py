@@ -98,6 +98,41 @@ A single sequential module *without* a ``next_wake`` override makes the
 whole simulation opaque and disables warping — the safe default, and the
 reason recording runs (whose CPU model thinks in real cycles) are never
 warped while replay runs (whose modules are all reactive) are.
+
+Burn declarations (batched backend)
+-----------------------------------
+
+The batched kernel (:mod:`repro.sim.batch`) runs N structurally identical
+instances per step and cannot afford a Python-level guard evaluation per
+module per instance per cycle. Instead each sequential module grants a
+*burn*: the number of upcoming cycles for which its ``seq()`` is a
+guaranteed no-op. Grants live in one numpy matrix (seq-slots × instances)
+that a single vectorized subtraction advances, so idle modules cost
+nothing until they come due.
+
+* :meth:`seq_burn` — return how many upcoming cycles ``seq()`` may be
+  skipped (0 = run every cycle, the safe default; ``None`` = skip
+  indefinitely, until an explicit wake). The default derives the answer
+  from :meth:`next_wake`, so warp-aware modules get burning for free.
+* :meth:`on_burn` — account for ``elapsed`` skipped cycles, exactly like
+  :meth:`on_warp` (which is the default implementation).
+* ``burn_idle = True`` (class attribute) — assert that whenever the
+  declared ``seq_idle_when`` conjunction holds, ``seq()`` stays a no-op
+  *until an external event*: a watched signal changes (the batch kernel
+  auto-watches the signals named by ``("low", …)`` / ``("nofire", …)``
+  terms) or someone calls :meth:`seq_wake`. This is the burn analogue of
+  ``comb_static`` and carries the same contract: every cross-module
+  mutation that can invalidate the guard must be covered by a watcher or
+  an explicit ``seq_wake()`` poke.
+* :meth:`seq_wake` — demand that ``seq()`` runs again (idempotent, cheap,
+  always sound). Wire it into every cross-module entry point that hands
+  this module new work (``submit()``, ``send()``, completion callbacks).
+
+Modules that declare nothing run every cycle — always correct, merely
+slower. A granted burn that proves wrong (``seq()`` had work before the
+grant expired and nothing poked) is a correctness bug of the same class
+as a wrong ``seq_idle_when`` term; the batched-vs-scalar equivalence
+harness exists to catch exactly that.
 """
 
 from __future__ import annotations
@@ -116,6 +151,11 @@ class Module:
     # watches changed (the quiescent fast path). Leave False for declared
     # modules that read cycle-start Python state the module cannot track.
     comb_static: bool = False
+    # True asserts that while the declared seq_idle_when conjunction holds,
+    # seq() stays a no-op until a watched guard signal changes or seq_wake()
+    # is called — letting the batched kernel park the module indefinitely
+    # instead of re-checking the guard every cycle.
+    burn_idle: bool = False
 
     def __init__(self, name: str):
         self.name = name
@@ -131,6 +171,10 @@ class Module:
         # wake() and signal fanout stay no-ops for them.
         self._comb_scheduled = False
         self._order = 0   # elaboration index; stabilizes evaluation order
+        # Installed by the batched kernel: a zero-arg callback that marks
+        # this module's burn slot due. None outside a batch (seq_wake()
+        # is then a no-op), so scalar runs pay one attribute check.
+        self._burn_hook = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -219,6 +263,74 @@ class Module:
         tallies, credit accumulators, countdowns) that the skipped cycles
         would have advanced.
         """
+
+    # ------------------------------------------------------------------
+    # burn declarations (batched backend)
+    # ------------------------------------------------------------------
+    def seq_wake(self) -> None:
+        """Demand that ``seq()`` runs again (batched backend; idempotent).
+
+        Cross-module entry points that hand this module new work must call
+        this so a granted burn is cut short. A no-op outside a batch.
+        """
+        hook = self._burn_hook
+        if hook is not None:
+            hook()
+
+    def seq_burn(self, cycle: int) -> Optional[int]:
+        """How many upcoming cycles ``seq()`` may be skipped, from ``cycle``.
+
+        Returns 0 to run every cycle, a positive count to skip that many
+        cycles, or ``None`` to park indefinitely (requires ``burn_idle``
+        watchers or :meth:`seq_wake` pokes to come back). The default
+        derives the grant from :meth:`next_wake` — modules that already
+        declare warp hints burn identically; opaque modules (base
+        ``next_wake``) grant 0 and run every cycle.
+        """
+        if type(self).next_wake is Module.next_wake:
+            return 0
+        hint = self.next_wake(cycle)
+        if hint is None:
+            return None
+        gap = hint - cycle - 1
+        return gap if gap > 0 else 0
+
+    def on_burn(self, elapsed: int) -> None:
+        """Account for ``elapsed`` burned (skipped) cycles in one step.
+
+        The batched analogue of :meth:`on_warp`, and by default exactly
+        that — modules whose warp accounting is already correct need no
+        override. Called just before the module's ``seq()`` runs again.
+        """
+        self.on_warp(elapsed)
+
+    # ------------------------------------------------------------------
+    # compiled-kernel inlining hooks
+    # ------------------------------------------------------------------
+    def seq_inline_source(self, ctx) -> Optional[List[str]]:
+        """Generated source lines replacing the ``seq()`` call, or ``None``.
+
+        The compiled kernel consults this per sequential module; a module
+        returning a list of statements (unindented — the generator nests
+        them under its idle guard) gets them spliced into the fused step
+        function instead of a bound-method call, eliminating interpreter
+        dispatch. ``ctx`` is an :class:`repro.sim.compile.InlineContext`
+        offering ``bind(obj)``/``const(value)`` for namespace interning.
+        The emitted code must be *topology-pure*: reference per-instance
+        objects only through ``ctx.bind`` and bake only values shared by
+        every structurally identical instance through ``ctx.const``.
+        """
+        return None
+
+    def seq_inline_key(self):
+        """Cache-key contribution for :meth:`seq_inline_source` variants.
+
+        Modules whose inline source depends on per-instance structure
+        (direction flags, policy modes) must return a hashable capturing
+        it; return ``False`` to declare the module uncacheable. Only
+        consulted when ``seq_inline_source`` is overridden.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # elaboration

@@ -133,6 +133,9 @@ class Simulator:
         self.rank_count = 0
         self.demoted_sccs = 0
         self.rank_evals: List[int] = []
+        # True when this sim's compiled kernel was re-bound from the
+        # in-process schedule cache instead of freshly generated.
+        self.schedule_cache_hit = False
 
     # ------------------------------------------------------------------
     # construction

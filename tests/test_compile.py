@@ -287,3 +287,61 @@ class TestResetAndCampaign:
                               scheduler="compiled")
         assert len(report.trials) == 6
         assert not report.silent_accepts
+
+
+class TestReplayDatapathInlining:
+    """The replayer's seq() is spliced into the generated step function."""
+
+    @staticmethod
+    def _record_trace():
+        from repro.apps.registry import get_app
+        from repro.core import VidiConfig
+        from repro.platform import F1Deployment
+
+        spec = get_app("sha256")
+        acc_factory, host_factory = spec.make()
+        recording = F1Deployment("inl_rec", acc_factory, VidiConfig.r2(),
+                                 seed=1, scheduler="compiled")
+        recording.cpu.add_thread(host_factory({}, seed=1))
+        recording.run_to_completion()
+        return spec, recording.recorded_trace({"app": "sha256", "seed": 1})
+
+    @staticmethod
+    def _replay_deployment(spec, trace):
+        from repro.core import VidiConfig
+        from repro.harness.runner import trace_interfaces
+        from repro.platform import F1Deployment
+
+        acc_factory, _host = spec.make()
+        return F1Deployment(
+            "inl_rep", acc_factory,
+            VidiConfig.r3(interfaces=trace_interfaces(trace)),
+            replay_trace=trace, scheduler="compiled")
+
+    def test_replay_step_function_contains_inlined_walk(self):
+        spec, trace = self._record_trace()
+        replaying = self._replay_deployment(spec, trace)
+        replaying.sim._step_callable()
+        # The generated source carries the replayer's action walk (its
+        # temporaries are the `_r...` family), not a bound seq() call
+        # per channel replayer.
+        source = replaying.sim._compiled.source
+        assert "_rpos" in source and "_rneeds" in source
+
+    def test_profiling_suppresses_inlining_and_stays_exact(self):
+        spec, trace = self._record_trace()
+        reference = self._replay_deployment(spec, trace)
+        cycles = reference.run_replay()
+
+        profiled = self._replay_deployment(spec, trace)
+        profiled.sim.enable_profiling()
+        profiled.sim._step_callable()
+        # The per-instance profiling wrapper must stay a call — inlining
+        # would bypass its timers — and the schedule cache must not leak
+        # an inlined kernel into the profiled simulator.
+        source = profiled.sim._compiled.source
+        assert "_rpos" not in source
+        assert profiled.run_replay() == cycles
+        profile = profiled.sim.profile_report()
+        assert any("rep." in row["module"] and row["seq_s"] >= 0
+                   for row in profile)

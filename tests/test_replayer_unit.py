@@ -1,8 +1,9 @@
 """Unit tests for channel replayers with hand-built feeds (§3.5 semantics)."""
 
 from repro.channels import Channel, ChannelSink, ChannelSource, Field, PayloadSpec
-from repro.core.decoder import ReplayElement
-from repro.core.replayer import ChannelReplayer, ReplayCoordinator
+from repro.core.decoder import ReplayAction, ReplayElement
+from repro.core.replayer import ChannelReplayer, ReplayCoordinator, _delta_needs
+from repro.core.vector_clock import VectorClock
 from repro.sim import Simulator
 
 WORD = PayloadSpec([Field("data", 16)])
@@ -134,3 +135,50 @@ class TestCoordinator:
         coordinator.complete(2)
         assert coordinator.version == v0 + 1
         assert coordinator.current.as_tuple() == (0, 0, 1)
+
+
+class TestDeltaNeeds:
+    """The incremental T_expected check used by the replayer's fast walk.
+
+    ``_delta_needs`` keeps, per action, only the vector-clock entries
+    that *grew* since the previous action. That is equivalent to the
+    full ``geq`` check because actions are consumed strictly in order
+    (earlier entries were already satisfied when the walk advanced) and
+    ``T_current`` is monotone (a satisfied entry stays satisfied).
+    """
+
+    @staticmethod
+    def _actions(*count_rows):
+        return [ReplayAction(word=None, expected=VectorClock(list(row)))
+                for row in count_rows]
+
+    def test_first_action_keeps_every_nonzero_entry(self):
+        needs = _delta_needs(self._actions((0, 2, 1)))
+        assert needs == [((1, 2), (2, 1))]
+
+    def test_later_actions_keep_only_the_increments(self):
+        needs = _delta_needs(self._actions(
+            (1, 0, 0), (1, 0, 0), (1, 3, 0), (2, 3, 1)))
+        assert needs == [((0, 1),), (), ((1, 3),), ((0, 2), (2, 1))]
+
+    def test_delta_walk_equals_full_geq_walk(self):
+        """Sequential consumption under a monotone clock: the delta check
+        admits exactly the same prefix as geq at every step."""
+        actions = self._actions(
+            (0, 0, 0), (1, 0, 0), (1, 2, 0), (1, 2, 0), (2, 2, 3))
+        needs = _delta_needs(actions)
+        # A monotone sequence of observed T_current states.
+        states = [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 2, 2),
+                  (2, 2, 2), (2, 2, 3), (5, 5, 5)]
+        pos_delta = pos_geq = 0
+        for counts in states:
+            current = VectorClock(list(counts))
+            while (pos_delta < len(actions)
+                   and all(current.counts[i] >= c
+                           for i, c in needs[pos_delta])):
+                pos_delta += 1
+            while (pos_geq < len(actions)
+                   and current.geq(actions[pos_geq].expected)):
+                pos_geq += 1
+            assert pos_delta == pos_geq
+        assert pos_delta == len(actions)
