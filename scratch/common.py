@@ -1,0 +1,31 @@
+"""Batch-vs-scalar bit-identical equivalence across all registered apps."""
+import sys
+sys.path.insert(0, "/root/repo/src")
+from dataclasses import replace as _replace
+from repro.apps.registry import APPS
+from repro.core.config import VidiConfig, VidiMode
+from repro.platform.shell import F1Deployment
+from repro.sim.batch import BatchKernel
+
+SEEDS = [1, 7]
+
+def build(spec, seed, scheduler="compiled", scale=None):
+    config = VidiConfig(mode=VidiMode.RECORD)
+    if spec.interfaces is not None and set(config.interfaces) != set(spec.interfaces):
+        config = _replace(config, interfaces=tuple(spec.interfaces))
+    acc_factory, host_factory = spec.make()
+    dep = F1Deployment(f"run_{spec.key}", acc_factory, config,
+                       seed=seed, scheduler=scheduler)
+    result = {}
+    if scale is None:
+        scale = spec.default_scale
+    if spec.stream_workload is not None:
+        dep.stream_driver.load_packets(spec.stream_workload(seed, scale))
+    dep.cpu.add_thread(host_factory(result, seed=seed, scale=scale))
+    return dep, result
+
+def fingerprint(dep, result, seed, spec):
+    trace = dep.recorded_trace({"app": spec.key, "seed": seed})
+    clean = {k: v for k, v in result.items() if k != "trace"}
+    return (dep.sim.cycle, repr(sorted(clean.items())), trace.size_bytes)
+

@@ -1,0 +1,24 @@
+import sys
+sys.path.insert(0, "/root/repo/src")
+from repro.apps.registry import APPS
+from repro.sim.batch import BatchKernel
+sys.path.insert(0, "/root/repo/scratch")
+from common import build, fingerprint
+
+spec = APPS["dram_dma"]
+seed = 1
+dep, result = build(spec, seed)
+dep.run_to_completion(max_cycles=4_000_000)
+ref = fingerprint(dep, result, seed, spec)
+print("ref cycles", ref[0], "trace", ref[2])
+
+for min_skip in (0.25, -1.0):
+    BatchKernel.DEMOTE_MIN_SKIP = min_skip
+    dep2, result2 = build(spec, seed)
+    kernel = BatchKernel([dep2.sim])
+    outs = kernel.run_until([lambda: dep2.cpu.done], 4_000_000, what="completion")
+    kernel.detach_all()
+    got = fingerprint(dep2, result2, seed, spec)
+    print(f"min_skip={min_skip}: status={outs[0].status} cycles={got[0]} "
+          f"trace={got[2]} demoted={kernel.demoted} "
+          f"result_match={got[1] == ref[1]} cycles_match={got[0] == ref[0]}")

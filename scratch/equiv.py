@@ -1,0 +1,36 @@
+import sys
+sys.path.insert(0, "/root/repo/scratch")
+from common import *
+
+ok = True
+for key, spec in APPS.items():
+    # scalar reference
+    refs = {}
+    for seed in SEEDS:
+        dep, result = build(spec, seed)
+        dep.run_to_completion(max_cycles=4_000_000)
+        spec.check(result)
+        refs[seed] = fingerprint(dep, result, seed, spec)
+    # batched
+    deps = []
+    for seed in SEEDS:
+        dep, result = build(spec, seed)
+        deps.append((seed, dep, result))
+    kernel, packed, scalar_idx = BatchKernel.pack([d.sim for _, d, _ in deps])
+    assert kernel is not None and not scalar_idx, (key, packed, scalar_idx)
+    outs = kernel.run_until([lambda d=d: d.cpu.done for _, d, _ in deps],
+                            4_000_000, what="completion")
+    kernel.detach_all()
+    warp = 0
+    for (seed, dep, result), out in zip(deps, outs):
+        assert out.status == "done", (key, seed, out.status, out.error)
+        spec.check(result)
+        got = fingerprint(dep, result, seed, spec)
+        warp = max(warp, 100 * dep.sim.warped_cycles // max(dep.sim.cycle, 1))
+        if got != refs[seed]:
+            ok = False
+            print(f"MISMATCH {key} seed {seed}:\n  ref {refs[seed]}\n  got {got}")
+    demo = sum(kernel.demoted)
+    print(f"{key:18s} ok warp%={warp:3d} demoted={demo} rounds={kernel.rounds}")
+print("ALL EQUIVALENT" if ok else "FAILED")
+sys.exit(0 if ok else 1)

@@ -1,0 +1,32 @@
+import sys
+from time import perf_counter
+from repro.apps.registry import get_app
+from repro.core import VidiConfig
+from repro.harness.runner import bench_config, trace_interfaces
+from repro.platform import F1Deployment
+
+ROUNDS = 15
+spec = get_app("sha256")
+acc_factory, host_factory = spec.make()
+
+def legs(scheduler):
+    best_rec = best_rep = float("inf")
+    for _ in range(ROUNDS):
+        rec = F1Deployment("t_rec", acc_factory, bench_config(VidiConfig.r2),
+                           seed=1, scheduler=scheduler)
+        result = {}
+        rec.cpu.add_thread(host_factory(result, seed=1, scale=4.0))
+        rec.sim._step_callable()
+        t0 = perf_counter(); rec.run_to_completion(); best_rec = min(best_rec, perf_counter() - t0)
+        trace = rec.recorded_trace({"app": "sha256", "seed": 1})
+        acc2, _ = spec.make()
+        rep = F1Deployment("t_rep", acc2,
+                           VidiConfig.r3(interfaces=trace_interfaces(trace)),
+                           replay_trace=trace, scheduler=scheduler)
+        rep.sim._step_callable()
+        t0 = perf_counter(); rep.run_replay(); best_rep = min(best_rep, perf_counter() - t0)
+    return best_rec, best_rep
+
+ev = legs("event"); cp = legs("compiled")
+print(f"record: event {ev[0]*1e3:7.2f}ms compiled {cp[0]*1e3:7.2f}ms  {ev[0]/cp[0]:.2f}x")
+print(f"replay: event {ev[1]*1e3:7.2f}ms compiled {cp[1]*1e3:7.2f}ms  {ev[1]/cp[1]:.2f}x")

@@ -1,0 +1,32 @@
+from time import perf_counter
+from repro.apps.registry import get_app
+from repro.core import VidiConfig
+from repro.harness.runner import bench_config, trace_interfaces
+from repro.platform import F1Deployment
+
+ROUNDS = 10
+spec = get_app("sha256")
+acc_factory, host_factory = spec.make()
+rec = F1Deployment("t_rec", acc_factory, bench_config(VidiConfig.r2),
+                   seed=1, scheduler="compiled")
+result = {}
+rec.cpu.add_thread(host_factory(result, seed=1, scale=4.0))
+rec.run_to_completion()
+trace = rec.recorded_trace({"app": "sha256", "seed": 1})
+
+def leg(scheduler, warp):
+    best = float("inf")
+    for _ in range(ROUNDS):
+        acc2, _ = spec.make()
+        rep = F1Deployment("t_rep", acc2,
+                           VidiConfig.r3(interfaces=trace_interfaces(trace)),
+                           replay_trace=trace, scheduler=scheduler,
+                           time_warp=warp)
+        rep.sim._step_callable()
+        t0 = perf_counter(); cycles = rep.run_replay(); best = min(best, perf_counter() - t0)
+    return best, cycles
+
+for warp in (True, False):
+    ev, evc = leg("event", warp); cp, cpc = leg("compiled", warp)
+    assert evc == cpc
+    print(f"warp={warp!s:5s} event {ev*1e3:7.2f}ms compiled {cp*1e3:7.2f}ms  {ev/cp:.2f}x  cycles={evc}")

@@ -1,0 +1,17 @@
+import sys, cProfile, pstats
+sys.path.insert(0, "/root/repo/src"); sys.path.insert(0, "/root/repo/scratch")
+from common import build
+from repro.apps.registry import APPS
+from repro.sim.batch import BatchKernel
+
+key = sys.argv[1] if len(sys.argv) > 1 else "sha256"
+spec = APPS[key]
+deps = [build(spec, seed) for seed in range(16)]
+kernel, _, _ = BatchKernel.pack([d.sim for d, _ in deps])
+preds = [lambda d=d: d.cpu.done for d, _ in deps]
+pr = cProfile.Profile()
+pr.enable()
+kernel.run_until(preds, 4_000_000, what="completion")
+pr.disable()
+kernel.detach_all()
+pstats.Stats(pr).sort_stats("cumulative").print_stats(25)

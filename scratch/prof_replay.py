@@ -1,0 +1,26 @@
+import cProfile, pstats, sys
+from repro.apps.registry import get_app
+from repro.core import VidiConfig
+from repro.harness.runner import bench_config, trace_interfaces
+from repro.platform import F1Deployment
+
+spec = get_app("sha256")
+acc_factory, host_factory = spec.make()
+recording = F1Deployment("cmp_rec", acc_factory, bench_config(VidiConfig.r2),
+                         seed=1, scheduler="compiled")
+result = {}
+recording.cpu.add_thread(host_factory(result, seed=1, scale=4.0))
+recording.run_to_completion()
+trace = recording.recorded_trace({"app": "sha256", "seed": 1})
+
+sched = sys.argv[1] if len(sys.argv) > 1 else "compiled"
+acc2, _ = spec.make()
+replaying = F1Deployment("cmp_rep", acc2,
+                         VidiConfig.r3(interfaces=trace_interfaces(trace)),
+                         replay_trace=trace, scheduler=sched)
+replaying.sim._step_callable()
+pr = cProfile.Profile()
+pr.enable()
+replaying.run_replay()
+pr.disable()
+pstats.Stats(pr).sort_stats("tottime").print_stats(30)

@@ -1,0 +1,34 @@
+from time import perf_counter
+from repro.apps.registry import get_app
+from repro.core import VidiConfig
+from repro.harness.runner import bench_config, trace_interfaces
+from repro.platform import F1Deployment
+
+spec = get_app("sha256")
+acc_factory, host_factory = spec.make()
+rec = F1Deployment("t_rec", acc_factory, bench_config(VidiConfig.r2),
+                   seed=1, scheduler="compiled")
+result = {}
+rec.cpu.add_thread(host_factory(result, seed=1, scale=4.0))
+rec.run_to_completion()
+trace = rec.recorded_trace({"app": "sha256", "seed": 1})
+
+for sched in ("event", "compiled"):
+    best = {}
+    for _ in range(10):
+        acc2, _ = spec.make()
+        rep = F1Deployment("t_rep", acc2,
+                           VidiConfig.r3(interfaces=trace_interfaces(trace)),
+                           replay_trace=trace, scheduler=sched)
+        rep.sim._step_callable()
+        sim, shim = rep.sim, rep.shim
+        t0 = perf_counter()
+        sim.run_until(lambda: shim.replay_done, 4_000_000, what="x")
+        t1 = perf_counter()
+        sim.run(64)
+        t2 = perf_counter()
+        for k, v in (("until", t1-t0), ("drain", t2-t1)):
+            best[k] = min(best.get(k, 9e9), v)
+    executed = sim.cycle - sim.warped_cycles
+    print(f"{sched:9s} until {best['until']*1e3:6.2f}ms drain {best['drain']*1e3:6.2f}ms "
+          f"cycles={sim.cycle} warped={sim.warped_cycles} jumps={sim.warp_jumps} executed={executed}")

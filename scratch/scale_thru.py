@@ -1,0 +1,25 @@
+import sys, time
+sys.path.insert(0, "/root/repo/src"); sys.path.insert(0, "/root/repo/scratch")
+from common import build
+from repro.apps.registry import APPS
+from repro.sim.batch import BatchKernel
+
+N = 16
+for key, scale in (("sha256", 4.0), ("sha256", 8.0), ("mobilenet", 4.0), ("bnn", 4.0)):
+    spec = APPS[key]
+    t0 = time.perf_counter()
+    cycles = 0
+    for seed in range(N):
+        dep, result = build(spec, seed, scale=scale)
+        cycles += dep.run_to_completion(max_cycles=4_000_000)
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    deps = [build(spec, seed, scale=scale) for seed in range(N)]
+    kernel, packed, rest = BatchKernel.pack([d.sim for d, _ in deps])
+    outs = kernel.run_until([lambda d=d: d.cpu.done for d, _ in deps],
+                            4_000_000, what="completion")
+    kernel.detach_all()
+    assert all(o.status == "done" for o in outs)
+    t_batch = time.perf_counter() - t0
+    print(f"{key:12s} scale {scale}: scalar {t_scalar:6.2f}s batch {t_batch:6.2f}s "
+          f"speedup {t_scalar / t_batch:5.2f}x ({cycles//N} cyc/inst)")

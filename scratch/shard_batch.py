@@ -1,0 +1,21 @@
+import sys
+from repro.apps.registry import get_app
+from repro.harness.sharded_replay import record_with_checkpoints, replay_sharded
+from repro.core.divergence import compare_traces
+
+for app in ("sha256", "optical_flow"):
+    spec = get_app(app)
+    metrics, cps = record_with_checkpoints(spec, seed=3, scheduler="compiled")
+    trace = metrics.result["trace"]
+    ref = replay_sharded(spec, trace, cps, segments=4, jobs=1,
+                         scheduler="compiled")
+    bat = replay_sharded(spec, trace, cps, segments=4, batched=True,
+                         scheduler="compiled")
+    a, b = bytes(ref.validation.body), bytes(bat.validation.body)
+    assert a == b, f"{app}: stitched bytes differ"
+    assert [s["cycles"] for s in ref.shards] == [s["cycles"] for s in bat.shards], \
+        f"{app}: cycles {[s['cycles'] for s in ref.shards]} vs {[s['cycles'] for s in bat.shards]}"
+    rep = compare_traces(trace, bat.validation)
+    assert rep.clean, f"{app}: not equivalent to reference"
+    print(f"{app:14s} OK segs={ref.segments} cycles={[s['cycles'] for s in bat.shards]}")
+print("SHARD BATCH OK")

@@ -1,0 +1,57 @@
+from time import perf_counter
+from repro.apps.registry import get_app
+from repro.core import VidiConfig
+from repro.harness.runner import bench_config, trace_interfaces
+from repro.platform import F1Deployment
+
+spec = get_app("sha256")
+acc_factory, host_factory = spec.make()
+rec = F1Deployment("t_rec", acc_factory, bench_config(VidiConfig.r2),
+                   seed=1, scheduler="compiled")
+result = {}
+rec.cpu.add_thread(host_factory(result, seed=1, scale=4.0))
+rec.run_to_completion()
+trace = rec.recorded_trace({"app": "sha256", "seed": 1})
+
+def build(sched):
+    acc2, _ = spec.make()
+    rep = F1Deployment("t_rep", acc2,
+                       VidiConfig.r3(interfaces=trace_interfaces(trace)),
+                       replay_trace=trace, scheduler=sched)
+    rep.sim.elaborate()
+    return rep
+
+rep = build("compiled")
+names = [type(m).__name__ for m in rep.sim._seq_modules]
+from collections import Counter
+print("seq modules:", Counter(names))
+print("comb modules:", Counter(type(m).__name__ for m in rep.sim._comb_modules))
+
+def timed(rep):
+    rep.sim._step_callable()
+    best = 9e9
+    # time one full replay; rebuild per round is costly, single-shot ok for sizing
+    t0 = perf_counter()
+    rep.sim.run_until(lambda: rep.shim.replay_done, 4_000_000, what="x")
+    return perf_counter() - t0
+
+base = min(timed(build("compiled")) for _ in range(6))
+print(f"baseline compiled: {base*1e3:.2f}ms")
+
+def nn(kind):
+    ts = []
+    for _ in range(6):
+        rep = build("compiled")
+        for m in rep.sim._seq_modules:
+            if kind in type(m).__name__:
+                m.seq = lambda: None
+                # also kill comb cost attribution separately
+        ts.append(timed(rep))
+    return min(ts)
+
+for kind in ("Monitor", "Encoder", "Store", "AxiSubordinate", "ChannelReplayer"):
+    try:
+        t = nn(kind)
+        print(f"no-op {kind:16s}: {t*1e3:6.2f}ms  (slice ~{(base-t)*1e3:5.2f}ms)")
+    except Exception as e:
+        print(f"no-op {kind}: failed {type(e).__name__}: {e}")

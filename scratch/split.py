@@ -1,0 +1,27 @@
+import sys, time
+sys.path.insert(0, "/root/repo/src"); sys.path.insert(0, "/root/repo/scratch")
+from common import build
+from repro.apps.registry import APPS
+from repro.sim.batch import BatchKernel
+
+for key in ("sha256", "mobilenet"):
+    spec = APPS[key]
+    t0 = time.perf_counter()
+    deps = [build(spec, seed) for seed in range(16)]
+    t_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for d, _ in deps:
+        d.run_to_completion(max_cycles=4_000_000)
+    t_run = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    deps2 = [build(spec, seed) for seed in range(16)]
+    t_build2 = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    kernel, _, _ = BatchKernel.pack([d.sim for d, _ in deps2])
+    t_pack = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    kernel.run_until([lambda d=d: d.cpu.done for d, _ in deps2], 4_000_000)
+    kernel.detach_all()
+    t_brun = time.perf_counter() - t0
+    print(f"{key}: build {t_build:.2f}/{t_build2:.2f} scalar-run {t_run:.2f} "
+          f"pack {t_pack:.2f} batch-run {t_brun:.2f}")

@@ -1,0 +1,24 @@
+from repro.apps.registry import get_app
+from repro.core import VidiConfig
+from repro.harness.runner import bench_config, trace_interfaces
+from repro.platform import F1Deployment
+
+spec = get_app("sha256")
+acc_factory, host_factory = spec.make()
+rec = F1Deployment("t_rec", acc_factory, bench_config(VidiConfig.r2),
+                   seed=1, scheduler="compiled")
+result = {}
+rec.cpu.add_thread(host_factory(result, seed=1, scale=4.0))
+rec.run_to_completion()
+trace = rec.recorded_trace({"app": "sha256", "seed": 1})
+
+for sched in ("event", "compiled"):
+    acc2, _ = spec.make()
+    rep = F1Deployment("t_rep", acc2,
+                       VidiConfig.r3(interfaces=trace_interfaces(trace)),
+                       replay_trace=trace, scheduler=sched)
+    rep.sim._step_callable()
+    rep.sim.run_until(lambda: rep.shim.replay_done, 4_000_000, what="x")
+    s = rep.sim
+    print(f"{sched:9s} cycle={s.cycle} comb_evals={s.comb_evals} "
+          f"quiescent={s.quiescent_cycles} warped={s.warped_cycles} jumps={s.warp_jumps}")

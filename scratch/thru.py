@@ -1,0 +1,27 @@
+import sys, time
+sys.path.insert(0, "/root/repo/src"); sys.path.insert(0, "/root/repo/scratch")
+from common import build
+from repro.apps.registry import APPS
+from repro.sim.batch import BatchKernel
+
+N = 16
+for key in (sys.argv[1:] or ["sha256", "mobilenet", "digit_recognition", "bnn", "dram_dma"]):
+    spec = APPS[key]
+    t0 = time.perf_counter()
+    cycles = 0
+    for seed in range(N):
+        dep, result = build(spec, seed)
+        cycles += dep.run_to_completion(max_cycles=4_000_000)
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    deps = [build(spec, seed) for seed in range(N)]
+    kernel, packed, rest = BatchKernel.pack([d.sim for d, _ in deps])
+    assert not rest
+    outs = kernel.run_until([lambda d=d: d.cpu.done for d, _ in deps],
+                            4_000_000, what="completion")
+    kernel.detach_all()
+    assert all(o.status == "done" for o in outs)
+    t_batch = time.perf_counter() - t0
+    print(f"{key:18s} scalar {t_scalar:6.2f}s batch {t_batch:6.2f}s "
+          f"speedup {t_scalar / t_batch:5.2f}x  "
+          f"({cycles} cycles, demoted {sum(kernel.demoted)})")
