@@ -1,17 +1,20 @@
 # Development entry points. `make check` is the pre-merge gate: the full
 # tier-1 test suite, the throughput benches (which enforce the
-# event-scheduler, compiled-kernel, batch-kernel and time-warp speedup
-# floors and refresh BENCH_kernel.json / BENCH_compiled.json /
-# BENCH_batch.json / BENCH_replay.json), and the fault campaign (200
-# seeded faults across every kind; fails on any silent wrong-accept).
+# event-scheduler, compiled-kernel, batch-kernel, time-warp and
+# flight-recorder floors and refresh BENCH_kernel.json /
+# BENCH_compiled.json / BENCH_batch.json / BENCH_replay.json /
+# BENCH_flightrec.json), and the fault campaign (200 seeded faults
+# across every kind; fails on any silent wrong-accept).
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 
 .PHONY: check test test-schedulers bench-kernel bench-compiled bench-batch \
-        bench-replay bench artifacts faults faults-batched
+        bench-replay bench-flightrec bench artifacts faults faults-batched \
+        faults-flightrec
 
-check: test bench-kernel bench-compiled bench-batch bench-replay faults
+check: test bench-kernel bench-compiled bench-batch bench-replay \
+       bench-flightrec faults
 
 faults:          ## seeded 200-fault injection campaign (containment gate)
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
@@ -20,6 +23,11 @@ faults:          ## seeded 200-fault injection campaign (containment gate)
 faults-batched:  ## batched campaign smoke: record legs 16 per batch kernel
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 	  $(PYTHON) -m repro.harness campaign --faults 60 --seed 0 --batch-size 16
+
+faults-flightrec: ## campaign with flight-recorder record legs + v3 attacks
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+	  $(PYTHON) -m repro.harness campaign --faults 60 --seed 0 \
+	  --flight-recorder
 
 test:            ## tier-1: the full unit/integration suite
 	$(PYTEST) -x -q
@@ -38,6 +46,9 @@ bench-batch:     ## batched campaign kernel + BENCH_batch.json (>=4x gate)
 
 bench-replay:    ## replay throughput + BENCH_replay.json (time-warp gate)
 	$(PYTEST) benchmarks/test_replay_speed.py -q -s
+
+bench-flightrec: ## flight recorder + BENCH_flightrec.json (ratio/overhead)
+	$(PYTEST) benchmarks/test_flight_recorder.py -q -s
 
 bench:           ## every benchmark (regenerates benchmarks/results/)
 	$(PYTEST) benchmarks -q -s

@@ -82,6 +82,32 @@ def take_checkpoint(deployment) -> Checkpoint:
     )
 
 
+def checkpoint_to_dict(checkpoint: Checkpoint) -> Dict:
+    """JSON-serializable form of a checkpoint (sidecars, v3 ANCHOR frames).
+
+    Word-map keys become strings because JSON objects cannot hold integer
+    keys; :func:`checkpoint_from_dict` reverses this exactly.
+    """
+    return {
+        "dram_words": {str(a): v for a, v in checkpoint.dram_words.items()},
+        "registers": {str(a): v for a, v in checkpoint.registers.items()},
+        "doorbell_count": checkpoint.doorbell_count,
+        "cycle": checkpoint.cycle,
+        "host_words": {str(a): v for a, v in checkpoint.host_words.items()},
+    }
+
+
+def checkpoint_from_dict(data: Dict) -> Checkpoint:
+    """Rebuild a checkpoint from :func:`checkpoint_to_dict` output."""
+    return Checkpoint(
+        dram_words={int(a): v for a, v in data["dram_words"].items()},
+        registers={int(a): v for a, v in data["registers"].items()},
+        doorbell_count=data["doorbell_count"],
+        cycle=data["cycle"],
+        host_words={int(a): v for a, v in data["host_words"].items()},
+    )
+
+
 def restore_checkpoint(deployment, checkpoint: Checkpoint,
                        restore_host: bool = True) -> None:
     """Load a snapshot into a fresh (not-yet-run) deployment."""

@@ -34,6 +34,7 @@ from repro.core.config import (
 )
 from repro.core.decoder import TraceDecoder
 from repro.core.encoder import TraceEncoder
+from repro.core.packets import DedupDict
 from repro.core.events import ChannelInfo, ChannelTable
 from repro.core.monitor import ChannelMonitor
 from repro.core.replayer import ChannelReplayer, ReplayCoordinator
@@ -131,15 +132,31 @@ class VidiShim(Module):
     # ------------------------------------------------------------------
     def _wire_record(self) -> None:
         config = self.config
-        self.store = TraceStore(
-            f"{self.name}.store",
-            staging_bytes=config.staging_bytes,
-            bandwidth_bytes_per_cycle=config.store_bandwidth,
-            arbiter=self.store_arbiter,
-        )
+        dedup = None
+        if config.flight_recorder:
+            # Flight recorder: ring-buffer retention behind the same
+            # staging/drain pipeline, plus content dedup in the encoder.
+            from repro.core.trace_ring import RingTraceStore
+            self.store = RingTraceStore(
+                f"{self.name}.store",
+                staging_bytes=config.staging_bytes,
+                bandwidth=config.store_bandwidth,
+                arbiter=self.store_arbiter,
+                retain_words=config.flight_retain_words,
+                compress_level=config.flight_compress_level,
+            )
+            dedup = DedupDict(config.flight_dedup_slots)
+        else:
+            self.store = TraceStore(
+                f"{self.name}.store",
+                staging_bytes=config.staging_bytes,
+                bandwidth_bytes_per_cycle=config.store_bandwidth,
+                arbiter=self.store_arbiter,
+            )
         self.encoder = TraceEncoder(
             f"{self.name}.encoder", self.table, self.store,
             record_output_contents=config.record_output_contents,
+            dedup=dedup,
         )
         index = 0
         for iface_name in config.monitored:
@@ -285,13 +302,74 @@ class VidiShim(Module):
 
     def recorded_trace(self, metadata: Optional[dict] = None) -> TraceFile:
         """Finalize and return the trace recorded under R2 (or the R3
-        validation trace)."""
+        validation trace).
+
+        Flight-recorder deployments expand the retained ring window back
+        to a flat body; when the ring wrapped, the trace starts at the
+        oldest surviving re-anchor point and ``metadata['ring']`` carries
+        its ``{ordinal, cycle, checkpoint}`` so replay can restore from
+        the checkpoint before driving the suffix.
+        """
         if self.store is None or self.encoder is None:
             raise ConfigError("no recording in this configuration")
         self.store.flush()
+        metadata = dict(metadata or {})
+        if getattr(self.store, "is_ring", False):
+            body, start, _ = self.store.expand(
+                self.table, self.encoder.record_output_contents,
+                self.config.flight_dedup_slots)
+            if start["ordinal"] or start["checkpoint"] is not None:
+                metadata["ring"] = start
+            trace = TraceFile(
+                table=self.table,
+                body=body,
+                with_validation=self.encoder.record_output_contents,
+                metadata=metadata,
+            )
+            return trace
         return TraceFile(
             table=self.table,
             body=self.store.trace_bytes,
             with_validation=self.encoder.record_output_contents,
-            metadata=dict(metadata or {}),
+            metadata=metadata,
         )
+
+    # ------------------------------------------------------------------
+    # flight recorder (always-on recording)
+    # ------------------------------------------------------------------
+    def flight_stats(self) -> dict:
+        """Dedup + ring storage counters for a flight-recorder deployment."""
+        if not getattr(self.store, "is_ring", False):
+            raise ConfigError("flight stats require flight_recorder mode")
+        stats = dict(self.store.stats())
+        dedup = self.encoder.dedup
+        stats["flat_bytes"] = self.encoder.bytes_flat
+        stats["dedup"] = {
+            "hits": dedup.hits,
+            "inserts": dedup.inserts,
+            "evictions": dedup.evictions,
+            "slots": dedup.slots,
+        }
+        stream = stats["stream_bytes"]
+        frames = stats["frame_bytes"]
+        flat = stats["flat_bytes"]
+        stats["dedup_ratio"] = flat / stream if stream else 1.0
+        stats["compression_ratio"] = flat / frames if frames else 1.0
+        return stats
+
+    def flight_blob(self, metadata: Optional[dict] = None) -> bytes:
+        """The retained ring as a self-contained v3 container blob.
+
+        Unlike re-serializing :meth:`recorded_trace`, this preserves the
+        actual ring frames — every surviving re-anchor checkpoint stays a
+        salvage resync point. Call after :meth:`recorded_trace` (or flush
+        the store first).
+        """
+        if not getattr(self.store, "is_ring", False):
+            raise ConfigError("flight blobs require flight_recorder mode")
+        self.store.flush()
+        from repro.core.trace_file import build_v3_container
+        return build_v3_container(
+            self.table, self.encoder.record_output_contents,
+            dict(metadata or {}), self.store.frame_stream(end=True),
+            self.config.flight_dedup_slots)

@@ -165,7 +165,8 @@ class _Campaign:
 
     def __init__(self, app: str, seed: int, crash_app: str,
                  progress: Optional[Callable[[str], None]],
-                 scheduler: Optional[str] = None):
+                 scheduler: Optional[str] = None,
+                 flight_recorder: bool = False):
         import functools
 
         from repro.apps.registry import get_app
@@ -176,17 +177,22 @@ class _Campaign:
         self.crash_app = crash_app
         self.seed = seed
         self.scheduler = scheduler
+        self.flight_recorder = flight_recorder
         self.progress = progress or (lambda _msg: None)
         self.spec = get_app(app)
-        self.config = bench_config(VidiConfig.r2)
+        self.config = bench_config(VidiConfig.r2,
+                                   flight_recorder=flight_recorder)
         # Every record/replay in the campaign runs on the chosen kernel, so
         # the containment verdicts exercise that scheduler end to end.
         self.record_run = functools.partial(record_run, scheduler=scheduler)
         self.replay_run = functools.partial(replay_run, scheduler=scheduler)
         # Fault-free references: one record, one replay, one serialization.
+        # A flight campaign serializes its reference as a v3 container so
+        # the blob-layer faults attack the framed/compressed format.
         ref = self.record_run(self.spec, self.config, seed=seed)
         self.ref_trace = ref.result["trace"]
-        self.ref_blob = self.ref_trace.to_bytes()
+        self.ref_blob = self.ref_trace.to_bytes(
+            version=3) if flight_recorder else self.ref_trace.to_bytes()
         rep = self.replay_run(self.spec, self.ref_trace)
         self.ref_validation_body = bytes(rep.result["validation"].body)
         self._crash_reference = None   # lazily recorded (it is expensive)
@@ -292,7 +298,12 @@ class _Campaign:
     def _trial_store(self, index: int, kind: str, plan: FaultPlan):
         from repro.core.divergence import compare_traces
 
-        metrics, _injector = self._record_leg(index, plan)
+        try:
+            metrics, _injector = self._record_leg(index, plan)
+        except ReproError as exc:
+            # Flight recordings decode their dedup stream when the trace is
+            # materialised — storage corruption can already surface there.
+            return "detected", f"record-side detection: {type(exc).__name__}"
         corrupted = metrics.result["trace"]
         if bytes(corrupted.body) == bytes(self.ref_trace.body):
             return "masked", "corruption cancelled out"
@@ -385,7 +396,8 @@ def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
                  crash_app: str = "dram_dma",
                  progress: Optional[Callable[[str], None]] = None,
                  scheduler: Optional[str] = None,
-                 batch_size: Optional[int] = None) -> CampaignReport:
+                 batch_size: Optional[int] = None,
+                 flight_recorder: bool = False) -> CampaignReport:
     """Run a seeded fault campaign; see the module docstring for verdicts.
 
     ``app`` hosts the cheap per-trial record/replay faults; ``crash_app``
@@ -401,9 +413,15 @@ def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
     the trial loop runs. The recorded traces are bit-identical to the
     scalar legs', so the report is fault-for-fault identical either way;
     only the campaign's wall-clock changes.
+
+    ``flight_recorder`` runs every record leg with the always-on ring
+    store and serializes the reference as a v3 container, so the blob
+    faults attack the framed/compressed format and the storage faults
+    land in the flight recorder's drain path.
     """
     rng = random.Random(seed)
-    campaign = _Campaign(app, seed, crash_app, progress, scheduler=scheduler)
+    campaign = _Campaign(app, seed, crash_app, progress, scheduler=scheduler,
+                         flight_recorder=flight_recorder)
     report = CampaignReport(app=app, seed=seed)
     kinds = _schedule(n_faults, rng)
     # Materialise every trial's seed and plan up front (one rng pass, in

@@ -18,6 +18,14 @@ Applications can also be recorded and replayed directly::
     python -m repro.harness record sha256 -o sha.trace --seed 7
     python -m repro.harness replay sha256 sha.trace
 
+The always-on flight recorder records through a compressed, deduped ring
+and emits a v3 container of the retained window (replayable from its
+embedded re-anchor checkpoint even after the ring wrapped)::
+
+    python -m repro.harness record dram_dma -o d.trace --flight-recorder \
+        --retain-words 4096
+    python -m repro.harness replay dram_dma d.trace
+
 Every record/replay/campaign command takes ``--scheduler
 {event,fixpoint,compiled}`` to pick the simulation kernel; the flag beats
 the ``REPRO_SIM_SCHEDULER`` environment variable, which beats the
@@ -82,6 +90,25 @@ def _cmd_record(args) -> int:
     from repro.harness.runner import bench_config, record_run
 
     spec = get_app(args.app)
+    overrides = {}
+    if args.flight_recorder:
+        overrides = {
+            "flight_recorder": True,
+            "flight_retain_words": args.retain_words,
+            "flight_dedup_slots": args.dedup_slots,
+            "flight_compress_level": args.compress_level,
+            "flight_anchor_stride": args.anchor_stride,
+        }
+        if args.checkpoints:
+            print("--flight-recorder embeds checkpoints in its ANCHOR "
+                  "frames; --checkpoints cannot combine with it",
+                  file=sys.stderr)
+            return 2
+        if args.compress:
+            print("--compress applies to v1/v2 containers; flight "
+                  "recordings are already block-compressed (v3)",
+                  file=sys.stderr)
+            return 2
     before_run = None
     injector = None
     if args.inject:
@@ -106,12 +133,24 @@ def _cmd_record(args) -> int:
         print(f"harvested {len(checkpoints)} quiescent checkpoint(s) "
               f"-> {args.checkpoints}")
     else:
-        metrics = record_run(spec, bench_config(VidiConfig.r2), seed=args.seed,
+        metrics = record_run(spec, bench_config(VidiConfig.r2, **overrides),
+                             seed=args.seed,
                              scale=args.scale, profile=args.profile,
                              before_run=before_run,
                              scheduler=args.scheduler)
     trace = metrics.result["trace"]
-    if injector is not None:
+    if args.flight_recorder:
+        # The flight blob is the retained ring as a real v3 container —
+        # every surviving re-anchor checkpoint stays a salvage resync
+        # point (re-serializing the flat trace would collapse them).
+        blob = metrics.result["flight_blob"]
+        if injector is not None:
+            blob = injector.mangle_blob(blob)
+        Path(args.output).write_bytes(blob)
+        if injector is not None:
+            for entry in injector.log:
+                print(f"fault: {entry}")
+    elif injector is not None:
         blob = injector.mangle_blob(
             trace.to_bytes(compress=args.compress))
         Path(args.output).write_bytes(blob)
@@ -122,6 +161,14 @@ def _cmd_record(args) -> int:
     print(f"recorded {spec.label}: {metrics.cycles} cycles, "
           f"{metrics.monitored_transactions} transactions, "
           f"{trace.size_bytes} trace bytes -> {args.output}")
+    if args.flight_recorder:
+        flight = metrics.result["flight"]
+        print(f"flight recorder: {flight['retained_words']} of "
+              f"{flight['retain_words']} word(s) retained, "
+              f"{flight['anchors']} anchor(s), "
+              f"{flight['evicted_epochs']} epoch(s) evicted, "
+              f"dedup {flight['dedup_ratio']:.2f}x, "
+              f"compressed {flight['compression_ratio']:.2f}x")
     if args.profile:
         print()
         print(_render_kernel_profile(metrics.result["kernel_profile"]))
@@ -233,6 +280,7 @@ def _cmd_campaign(args) -> int:
                           crash_app=args.crash_app,
                           scheduler=args.scheduler,
                           batch_size=args.batch_size,
+                          flight_recorder=args.flight_recorder,
                           progress=lambda msg: print(f"  {msg}"))
     print(report.render())
     return 0 if not report.silent_accepts else 1
@@ -279,6 +327,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "'store-bitflip:flips=2;channel-stall:cycles=200'")
     p_rec.add_argument("--inject-seed", type=int, default=0,
                        help="seed for the fault plan's random choices")
+    from repro.core.config import (DEFAULT_FLIGHT_ANCHOR_STRIDE,
+                                   DEFAULT_FLIGHT_COMPRESS_LEVEL,
+                                   DEFAULT_FLIGHT_DEDUP_SLOTS,
+                                   DEFAULT_FLIGHT_RETAIN_WORDS)
+
+    p_rec.add_argument("--flight-recorder", action="store_true",
+                       help="record through the always-on flight recorder "
+                            "(dedup + compressed ring retention); the "
+                            "output is a v3 container of the retained "
+                            "window")
+    p_rec.add_argument("--retain-words", type=int,
+                       default=DEFAULT_FLIGHT_RETAIN_WORDS, metavar="N",
+                       help="ring retention budget in 64-byte storage words")
+    p_rec.add_argument("--dedup-slots", type=int,
+                       default=DEFAULT_FLIGHT_DEDUP_SLOTS, metavar="N",
+                       help="content-dedup dictionary capacity (1..65536)")
+    p_rec.add_argument("--compress-level", type=int,
+                       default=DEFAULT_FLIGHT_COMPRESS_LEVEL, metavar="L",
+                       help="zlib level for the ring's RUN frames (1..9)")
+    p_rec.add_argument("--anchor-stride", type=int,
+                       default=DEFAULT_FLIGHT_ANCHOR_STRIDE, metavar="N",
+                       help="cycles between re-anchor checkpoint attempts")
     _add_scheduler_arg(p_rec)
     p_rec.set_defaults(func=_cmd_record)
     p_rep = sub.add_parser("replay", help="replay and validate a trace")
@@ -294,8 +364,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="disable quiescent-gap skipping (per-cycle "
                             "reference replay)")
     p_rep.add_argument("--salvage", action="store_true",
-                       help="recover a damaged/partial v2 trace as its "
-                            "longest valid packet prefix before replaying")
+                       help="recover a damaged/partial trace before "
+                            "replaying (v1/v2: longest valid packet "
+                            "prefix; v3: most recent anchored window, "
+                            "resyncing past torn frames)")
     p_rep.add_argument("--inject", metavar="PLAN",
                        help="arm a fault plan during replay, e.g. "
                             "'worker-crash:crashes=1' (sharded mode)")
@@ -317,6 +389,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "record legs N at a time behind one batch "
                             "kernel (bit-identical verdicts, less "
                             "wall-clock)")
+    p_cam.add_argument("--flight-recorder", action="store_true",
+                       help="run every record leg through the flight "
+                            "recorder and attack the v3 container in the "
+                            "blob trials")
     _add_scheduler_arg(p_cam)
     p_cam.set_defaults(func=_cmd_campaign)
 

@@ -112,6 +112,13 @@ class BatchRunner:
                 scheduler=self.scheduler)
             if before_run is not None:
                 before_run(deployment, i)
+            if deployment.flight_probe is not None:
+                # The batched kernel steps the simulator itself, bypassing
+                # run_to_completion's chunked anchor probing — register the
+                # probe as a per-cycle hook so re-anchoring still happens.
+                # (The scalar fallback below then double-probes boundary
+                # cycles; the probe's guards make that a no-op.)
+                deployment.sim.add_cycle_hook(deployment.flight_probe)
             deployments.append(deployment)
             host_results.append(result)
         kernel, packed, scalar = BatchKernel.pack(
@@ -164,7 +171,7 @@ class BatchRunner:
         groups: dict = {}
         for i, cell in enumerate(cells):
             key = (cell.app, cell.config, cell.scale, cell.patched_dma,
-                   cell.scheduler)
+                   cell.scheduler, cell.flight_recorder)
             groups.setdefault(key, []).append(i)
         for indices in groups.values():
             group = [cells[i] for i in indices]
@@ -188,6 +195,10 @@ class BatchRunner:
                     "store_stall_cycles": metrics.store_stall_cycles,
                     "monitored_transactions": metrics.monitored_transactions,
                 }
+                if "flight" in metrics.result:
+                    flight = dict(metrics.result["flight"])
+                    flight.pop("dedup", None)
+                    results[i]["flight"] = flight
         return results  # type: ignore[return-value]
 
 

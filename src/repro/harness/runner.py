@@ -100,13 +100,21 @@ def finish_record_metrics(spec: AppSpec, config: VidiConfig,
     metrics = RunMetrics(app=spec.key, mode=config.mode.value, seed=seed,
                          cycles=cycles, result=result)
     if config.mode is VidiMode.RECORD:
-        trace = deployment.recorded_trace({"app": spec.key, "seed": seed})
+        trace = deployment.recorded_trace(
+            {"app": spec.key, "seed": seed, "cycles": cycles})
         metrics.trace_bytes = trace.size_bytes
         metrics.stored_bytes = deployment.shim.store.stored_size_bytes
         metrics.store_stall_cycles = deployment.shim.store.stall_cycles
         metrics.monitored_transactions = sum(
             m.transactions for m in deployment.shim.monitors)
         metrics.result["trace"] = trace
+        if getattr(deployment.shim.store, "is_ring", False):
+            # Flight recorder: storage/dedup counters for the benchmark
+            # gates, plus the retained ring as a real v3 container (every
+            # surviving re-anchor checkpoint stays a salvage resync point).
+            metrics.result["flight"] = deployment.shim.flight_stats()
+            metrics.result["flight_blob"] = deployment.shim.flight_blob(
+                {"app": spec.key, "seed": seed, "cycles": cycles})
     return metrics
 
 
@@ -185,6 +193,18 @@ def replay_run(spec: AppSpec, trace: TraceFile,
     deployment = F1Deployment(f"replay_{spec.key}", acc_factory, replay_config,
                               replay_trace=trace, time_warp=time_warp,
                               scheduler=scheduler)
+    ring = trace.metadata.get("ring") if trace.metadata else None
+    if ring and ring.get("checkpoint"):
+        # Flight-recorder suffix trace: the window starts at a re-anchor
+        # point, not at reset. Restore the anchor's architectural snapshot
+        # into the fresh deployment so the suffix replays from the exact
+        # state the surviving packets assume. Host state stays untouched —
+        # replay has no live host side.
+        from repro.core.checkpoint import (checkpoint_from_dict,
+                                           restore_checkpoint)
+        restore_checkpoint(deployment,
+                           checkpoint_from_dict(ring["checkpoint"]),
+                           restore_host=False)
     cycles = deployment.run_replay(max_cycles=max_cycles)
     metrics = RunMetrics(app=spec.key, mode="replay", seed=-1, cycles=cycles)
     if deployment.shim.store is not None:
@@ -262,6 +282,7 @@ class SweepCell:
     scale: Optional[float] = None
     patched_dma: bool = False      # the §3.6 interrupt-patched DRAM DMA
     scheduler: Optional[str] = None  # simulation kernel for the worker
+    flight_recorder: bool = False  # r2 with the always-on ring store
 
 
 def _cell_spec(cell: SweepCell) -> AppSpec:
@@ -279,7 +300,10 @@ def _cell_spec(cell: SweepCell) -> AppSpec:
 
 def _cell_config(cell: SweepCell) -> VidiConfig:
     factory = {"r1": VidiConfig.r1, "r2": VidiConfig.r2}[cell.config]
-    return bench_config(factory)
+    overrides = {}
+    if cell.flight_recorder:
+        overrides["flight_recorder"] = True
+    return bench_config(factory, **overrides)
 
 
 def run_record_cell(cell: SweepCell) -> dict:
@@ -287,7 +311,7 @@ def run_record_cell(cell: SweepCell) -> dict:
     metrics = record_run(_cell_spec(cell), _cell_config(cell),
                          seed=cell.seed, scale=cell.scale,
                          scheduler=cell.scheduler)
-    return {
+    out = {
         "app": cell.app,
         "config": cell.config,
         "seed": cell.seed,
@@ -297,6 +321,11 @@ def run_record_cell(cell: SweepCell) -> dict:
         "store_stall_cycles": metrics.store_stall_cycles,
         "monitored_transactions": metrics.monitored_transactions,
     }
+    if "flight" in metrics.result:
+        flight = dict(metrics.result["flight"])
+        flight.pop("dedup", None)   # keep the dict picklable-flat
+        out["flight"] = flight
+    return out
 
 
 def run_divergence_cell(cell: SweepCell) -> dict:

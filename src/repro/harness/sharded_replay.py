@@ -33,7 +33,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.apps.registry import AppSpec, get_app
-from repro.core.checkpoint import Checkpoint, restore_checkpoint, take_checkpoint
+from repro.core.checkpoint import (Checkpoint, checkpoint_from_dict,
+                                   checkpoint_to_dict, restore_checkpoint,
+                                   take_checkpoint)
 from repro.core.config import VidiConfig
 from repro.core.events import ChannelTable
 from repro.core.trace_file import TraceFile
@@ -319,16 +321,8 @@ def save_checkpoints(path, checkpoints: Dict[int, Checkpoint]) -> None:
     import json
     from pathlib import Path
 
-    data = {
-        str(ordinal): {
-            "dram_words": {str(a): v for a, v in cp.dram_words.items()},
-            "registers": {str(a): v for a, v in cp.registers.items()},
-            "doorbell_count": cp.doorbell_count,
-            "cycle": cp.cycle,
-            "host_words": {str(a): v for a, v in cp.host_words.items()},
-        }
-        for ordinal, cp in checkpoints.items()
-    }
+    data = {str(ordinal): checkpoint_to_dict(cp)
+            for ordinal, cp in checkpoints.items()}
     Path(path).write_text(json.dumps(data))
 
 
@@ -338,13 +332,5 @@ def load_checkpoints(path) -> Dict[int, Checkpoint]:
     from pathlib import Path
 
     data = json.loads(Path(path).read_text())
-    return {
-        int(ordinal): Checkpoint(
-            dram_words={int(a): v for a, v in entry["dram_words"].items()},
-            registers={int(a): v for a, v in entry["registers"].items()},
-            doorbell_count=entry["doorbell_count"],
-            cycle=entry["cycle"],
-            host_words={int(a): v for a, v in entry["host_words"].items()},
-        )
-        for ordinal, entry in data.items()
-    }
+    return {int(ordinal): checkpoint_from_dict(entry)
+            for ordinal, entry in data.items()}

@@ -137,13 +137,99 @@ class F1Deployment:
         # Elaboration is lazy (first step), so callers may still attach
         # taps/recorders to the deployment before running it.
 
+        self.flight_probe: Optional[Callable[[int], None]] = None
+        if config.mode is VidiMode.RECORD and config.flight_recorder:
+            self._install_flight_anchors()
+
+    # ------------------------------------------------------------------
+    def _install_flight_anchors(self) -> None:
+        """Build the flight recorder's re-anchoring probe.
+
+        ``flight_probe(cycle)`` fires on ``flight_anchor_stride`` cycle
+        boundaries: if the design is quiescent and packets were emitted
+        since the last anchor, snapshot the architectural state, queue an
+        ANCHOR frame at the exact packet-stream watermark, and reset the
+        encoder's dedup dictionary so the new epoch is self-contained.
+        All of this is host-side bookkeeping — it never stalls or reorders
+        the simulated design, so flight recordings are timing-identical
+        regardless of how often anchoring succeeds.
+
+        The probe is *not* installed as a per-cycle hook: cycle hooks cost
+        a Python call on every simulated cycle and disable the schedulers'
+        quiet-gap warping. :meth:`run_to_completion` instead runs the sim
+        in stride-aligned chunks and probes between them — the probed
+        cycles (and hence the anchor placement) are identical to what a
+        per-cycle hook would see. Drivers that step the simulator
+        themselves (the batched kernel) register ``flight_probe`` as a
+        cycle hook instead; its internal guards make extra or repeated
+        calls at the same cycle harmless no-ops.
+        """
+        from repro.core.checkpoint import checkpoint_to_dict, take_checkpoint
+
+        shim = self.shim
+        encoder = shim.encoder
+        store = shim.store
+        monitors = shim.monitors
+        stride = max(1, self.config.flight_anchor_stride)
+        last_ordinal = [0]
+
+        def probe(cycle: int) -> None:
+            if cycle % stride:
+                return
+            ordinal = encoder.packets_emitted
+            if ordinal == 0 or ordinal == last_ordinal[0]:
+                return
+            # A committed monitor holds an in-flight transaction; the
+            # architectural snapshot would not be a clean resume point.
+            if any(m._committed for m in monitors):
+                return
+            try:
+                checkpoint = take_checkpoint(self)
+            except ConfigError:
+                return
+            # Flight suffix replay restores with restore_host=False (replay
+            # has no live host side), so the host-memory words — by far the
+            # largest incompressible checkpoint payload — are dead weight
+            # in an ANCHOR frame. Drop them before stringifying.
+            checkpoint.host_words = {}
+            if store.request_anchor(ordinal, cycle,
+                                    checkpoint_to_dict(checkpoint)):
+                encoder.reset_dedup()
+            last_ordinal[0] = ordinal
+
+        self.flight_probe = probe
+
     # ------------------------------------------------------------------
     def run_to_completion(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> int:
         """Run until the host program finishes; returns elapsed cycles."""
         if self.cpu is None:
             raise ConfigError("replay deployments use run_replay()")
-        return self.sim.run_until(lambda: self.cpu.done, max_cycles,
-                                  what=f"{self.name}: host program completion")
+        what = f"{self.name}: host program completion"
+        probe = self.flight_probe
+        if probe is None:
+            return self.sim.run_until(lambda: self.cpu.done, max_cycles, what)
+        # Flight recording: run in stride-aligned chunks and probe for a
+        # re-anchor opportunity at each boundary — zero per-cycle cost.
+        sim, cpu = self.sim, self.cpu
+        stride = max(1, self.config.flight_anchor_stride)
+        start = sim.cycle
+        end = start + max_cycles
+        while not cpu.done:
+            chunk = min(stride - sim.cycle % stride, end - sim.cycle)
+            if chunk <= 0:
+                raise WatchdogTimeout(
+                    f"{sim.name}: {what} not reached within "
+                    f"{max_cycles} cycles (cycle {sim.cycle})")
+            try:
+                sim.run_until(lambda: cpu.done, chunk, what)
+            except WatchdogTimeout:
+                if sim.cycle >= end:
+                    raise WatchdogTimeout(
+                        f"{sim.name}: {what} not reached within "
+                        f"{max_cycles} cycles (cycle {sim.cycle})") from None
+            if sim.cycle % stride == 0:
+                probe(sim.cycle)
+        return sim.cycle - start
 
     def run_replay(self, max_cycles: int = DEFAULT_MAX_CYCLES,
                    drain_cycles: int = 64,

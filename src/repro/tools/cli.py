@@ -82,6 +82,32 @@ def cmd_stats(args) -> int:
                 content_bytes[index] += table[index].content_bytes
             if (packet.ends >> index) & 1:
                 ends[index] += 1
+    print(f"body         : {fmt_bytes(trace.size_bytes)} "
+          f"({trace.packet_count} cycle packets, format v"
+          f"{trace.format_version})")
+    cycles = trace.metadata.get("cycles")
+    if isinstance(cycles, int) and cycles > 0:
+        print(f"bytes/cycle  : {trace.size_bytes / cycles:.3f} "
+              f"(over {cycles} recorded cycles)")
+    cs = trace.container_stats
+    if cs:
+        # v3 flight-recorder container: the loader kept expansion stats.
+        refs = cs["backrefs"] + cs["literals"]
+        if refs:
+            print(f"dedup        : {cs['backrefs']} backref(s) / "
+                  f"{refs} dedupable payload(s) "
+                  f"({100.0 * cs['backrefs'] / refs:.1f}% hit rate, "
+                  f"{cs['dedup_slots']}-slot dictionary)")
+        if cs["frame_bytes"]:
+            print(f"compression  : {fmt_bytes(cs['body_bytes'])} flat -> "
+                  f"{fmt_bytes(cs['frame_bytes'])} framed "
+                  f"({cs['body_bytes'] / cs['frame_bytes']:.2f}x, "
+                  f"{cs['anchors']} anchor(s))")
+    ring = trace.metadata.get("ring")
+    if ring:
+        print(f"ring window  : starts at packet {ring.get('ordinal')} "
+              f"(cycle {ring.get('cycle')}), checkpoint "
+              f"{'present' if ring.get('checkpoint') else 'absent'}")
     rows = []
     for index in range(table.n):
         if starts[index] == 0 and ends[index] == 0 and not args.all:
@@ -200,7 +226,8 @@ def cmd_fuzz(args) -> int:
 
     trace = TraceFile.load(args.trace)
     if args.frames:
-        outcomes = fuzz_frames(trace, n_mutants=args.mutants, seed=args.seed)
+        outcomes = fuzz_frames(trace, n_mutants=args.mutants, seed=args.seed,
+                               version=args.container)
         print(render_fuzz(outcomes))
         return 0 if not any(o.verdict == "silent-accept"
                             for o in outcomes) else 1
@@ -328,8 +355,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--reference-app",
                         help="known-good design for causal triage")
     p_fuzz.add_argument("--frames", action="store_true",
-                        help="fuzz the v2 container framing instead of the "
+                        help="fuzz the container framing instead of the "
                         "event semantics (exit 1 on any silent accept)")
+    p_fuzz.add_argument("--container", type=int, default=2, choices=(2, 3),
+                        help="container version --frames targets: 2 "
+                        "(CRC-framed body) or 3 (flight-recorder frames, "
+                        "incl. the CRC-refixed backref mutant)")
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_sal = sub.add_parser(

@@ -172,41 +172,53 @@ def fuzz_replay(trace: TraceFile,
 
 
 def fuzz_frames(trace: TraceFile, n_mutants: int = 50,
-                seed: int = 0) -> List[FuzzOutcome]:
-    """Fuzz the v2 *container framing* instead of the event semantics.
+                seed: int = 0, version: int = 2) -> List[FuzzOutcome]:
+    """Fuzz the *container framing* instead of the event semantics.
 
-    Each mutant flips one random bit of the serialized container
+    Each mutant damages the serialized container and asserts the loader's
+    verdict. ``version=2`` flips one random bit per mutant
     (:func:`~repro.core.mutation.corrupt_frame` cycles through every
-    region class: magic, lengths, header, body, footer) and asserts the
-    loader's verdict:
+    region class: magic, lengths, header, body, footer). ``version=3``
+    targets the flight-recorder frame container instead
+    (:func:`~repro.core.mutation.corrupt_v3_frame`: run/anchor payload
+    flips, mid-frame truncation, and the CRC-refixed ``backref`` mutant
+    that only the dedup decode can catch). Verdicts:
 
     * ``detected``      — the load raised a typed ``TraceFormatError``
-      (body corruption additionally notes whether salvage recovered a
-      packet prefix);
+      (salvageable regions additionally note what salvage recovered);
     * ``silent-accept`` — the damaged container loaded cleanly with
       content that differs from the original: a framing hole. A healthy
       format produces **zero** of these.
     """
-    from repro.core.mutation import FRAME_REGIONS, corrupt_frame
+    from repro.core.mutation import (FRAME_REGIONS, V3_FRAME_REGIONS,
+                                     corrupt_frame, corrupt_v3_frame)
     from repro.errors import TraceFormatError
 
     rng = random.Random(seed)
-    blob = trace.to_bytes()
+    if version == 3:
+        blob = trace.to_bytes(version=3)
+        regions: tuple = V3_FRAME_REGIONS
+        corrupt = corrupt_v3_frame
+        salvage_regions = ("run", "anchor", "truncate", "backref")
+    else:
+        blob = trace.to_bytes()
+        regions = FRAME_REGIONS
+        corrupt = corrupt_frame
+        salvage_regions = ("body",)
     outcomes: List[FuzzOutcome] = []
     for mutant_index in range(n_mutants):
         # Round-robin over region classes so small runs still cover all.
-        region = FRAME_REGIONS[mutant_index % len(FRAME_REGIONS)]
-        description, damaged = corrupt_frame(blob, rng, region=region)
+        region = regions[mutant_index % len(regions)]
+        description, damaged = corrupt(blob, rng, region=region)
         try:
             loaded = TraceFile.from_bytes(damaged)
         except TraceFormatError as exc:
             detail = type(exc).__name__
-            if region == "body":
+            if region in salvage_regions:
                 try:
                     salvaged = TraceFile.from_bytes(damaged, salvage=True)
-                    detail += (", salvaged "
-                               f"{salvaged.metadata['salvaged']['packets']} "
-                               "packet(s)")
+                    info = salvaged.metadata.get("salvaged", {})
+                    detail += f", salvaged {info.get('packets', 0)} packet(s)"
                 except TraceFormatError:
                     detail += ", unsalvageable"
             outcomes.append(FuzzOutcome(description, "detected", detail))
@@ -214,7 +226,7 @@ def fuzz_frames(trace: TraceFile, n_mutants: int = 50,
         if bytes(loaded.body) == bytes(trace.body) \
                 and loaded.table.to_dict() == trace.table.to_dict():
             # A flip the format legitimately does not care about would land
-            # here; with CRC-framed v2 containers nothing should.
+            # here; with CRC-framed containers nothing should.
             outcomes.append(FuzzOutcome(description, "ok",
                                         "loaded with identical content"))
         else:

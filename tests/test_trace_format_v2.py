@@ -63,7 +63,7 @@ class TestRoundTrip:
 
     def test_unknown_version_rejected(self):
         with pytest.raises(TraceFormatError):
-            small_trace().to_bytes(version=3)
+            small_trace().to_bytes(version=4)
 
 
 class TestFramingRejections:
