@@ -1,20 +1,21 @@
 # Development entry points. `make check` is the pre-merge gate: the full
 # tier-1 test suite, the throughput benches (which enforce the
-# event-scheduler, compiled-kernel, batch-kernel, time-warp and
-# flight-recorder floors and refresh BENCH_kernel.json /
-# BENCH_compiled.json / BENCH_batch.json / BENCH_replay.json /
-# BENCH_flightrec.json), and the fault campaign (200 seeded faults
-# across every kind; fails on any silent wrong-accept).
+# event-scheduler, compiled-kernel, batch-kernel, time-warp,
+# flight-recorder and warm-pool/compile-cache floors and refresh
+# BENCH_kernel.json / BENCH_compiled.json / BENCH_batch.json /
+# BENCH_replay.json / BENCH_flightrec.json / BENCH_warm.json), and the
+# fault campaign (200 seeded faults across every kind; fails on any
+# silent wrong-accept).
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 
 .PHONY: check test test-schedulers bench-kernel bench-compiled bench-batch \
-        bench-replay bench-flightrec bench artifacts faults faults-batched \
-        faults-flightrec
+        bench-replay bench-flightrec bench-warm bench artifacts faults \
+        faults-batched faults-flightrec faults-warm
 
 check: test bench-kernel bench-compiled bench-batch bench-replay \
-       bench-flightrec faults
+       bench-flightrec bench-warm faults
 
 faults:          ## seeded 200-fault injection campaign (containment gate)
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
@@ -28,6 +29,11 @@ faults-flightrec: ## campaign with flight-recorder record legs + v3 attacks
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
 	  $(PYTHON) -m repro.harness campaign --faults 60 --seed 0 \
 	  --flight-recorder
+
+faults-warm:     ## campaign smoke over the warm pool + persistent cache
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+	  $(PYTHON) -m repro.harness campaign --faults 60 --seed 0 \
+	  --scheduler compiled --warm-pool --cache-dir .repro-cache/schedules
 
 test:            ## tier-1: the full unit/integration suite
 	$(PYTEST) -x -q
@@ -49,6 +55,9 @@ bench-replay:    ## replay throughput + BENCH_replay.json (time-warp gate)
 
 bench-flightrec: ## flight recorder + BENCH_flightrec.json (ratio/overhead)
 	$(PYTEST) benchmarks/test_flight_recorder.py -q -s
+
+bench-warm:      ## compile cache + warm pool + BENCH_warm.json (floors)
+	$(PYTEST) benchmarks/test_warm_pool.py -q -s
 
 bench:           ## every benchmark (regenerates benchmarks/results/)
 	$(PYTEST) benchmarks -q -s

@@ -166,7 +166,8 @@ class _Campaign:
     def __init__(self, app: str, seed: int, crash_app: str,
                  progress: Optional[Callable[[str], None]],
                  scheduler: Optional[str] = None,
-                 flight_recorder: bool = False):
+                 flight_recorder: bool = False,
+                 warm_pool: bool = False):
         import functools
 
         from repro.apps.registry import get_app
@@ -178,6 +179,7 @@ class _Campaign:
         self.seed = seed
         self.scheduler = scheduler
         self.flight_recorder = flight_recorder
+        self.warm_pool = warm_pool
         self.progress = progress or (lambda _msg: None)
         self.spec = get_app(app)
         self.config = bench_config(VidiConfig.r2,
@@ -355,7 +357,7 @@ class _Campaign:
             sharded = replay_sharded(
                 spec, metrics.result["trace"], checkpoints,
                 segments=3, jobs=2, retries=2, injector=injector,
-                scheduler=self.scheduler)
+                scheduler=self.scheduler, warm_pool=self.warm_pool)
         except ReproError as exc:
             return "detected", f"sharded replay failed: {type(exc).__name__}"
         if bytes(sharded.validation.body) == clean_body:
@@ -383,7 +385,8 @@ class _Campaign:
             else:
                 clean = replay_sharded(spec, metrics.result["trace"],
                                        checkpoints, segments=3, jobs=2,
-                                       scheduler=self.scheduler)
+                                       scheduler=self.scheduler,
+                                       warm_pool=self.warm_pool)
                 self._crash_reference = (
                     spec, metrics, checkpoints,
                     bytes(clean.validation.body))
@@ -397,7 +400,9 @@ def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
                  progress: Optional[Callable[[str], None]] = None,
                  scheduler: Optional[str] = None,
                  batch_size: Optional[int] = None,
-                 flight_recorder: bool = False) -> CampaignReport:
+                 flight_recorder: bool = False,
+                 warm_pool: bool = False,
+                 cache_dir: Optional[str] = None) -> CampaignReport:
     """Run a seeded fault campaign; see the module docstring for verdicts.
 
     ``app`` hosts the cheap per-trial record/replay faults; ``crash_app``
@@ -418,10 +423,19 @@ def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
     store and serializes the reference as a v3 container, so the blob
     faults attack the framed/compressed format and the storage faults
     land in the flight recorder's drain path.
+
+    ``warm_pool`` routes the worker-crash trials' sharded replays through
+    the process-persistent warm worker pool; ``cache_dir`` points the
+    two-level compiled-schedule cache at a directory so campaigns share
+    kernels across processes and invocations.
     """
+    if cache_dir is not None:
+        from repro.sim import schedule_store
+        schedule_store.configure(cache_dir)
     rng = random.Random(seed)
     campaign = _Campaign(app, seed, crash_app, progress, scheduler=scheduler,
-                         flight_recorder=flight_recorder)
+                         flight_recorder=flight_recorder,
+                         warm_pool=warm_pool)
     report = CampaignReport(app=app, seed=seed)
     kinds = _schedule(n_faults, rng)
     # Materialise every trial's seed and plan up front (one rng pass, in

@@ -46,6 +46,15 @@ Fault injection rides on the same commands (see ``repro.faults``)::
     python -m repro.harness replay dram_dma d.trace --jobs 4 \
         --checkpoints d.ckpt --inject 'worker-crash:crashes=1'
     python -m repro.harness campaign --faults 200
+
+Parallel commands amortize kernel compilation and worker start-up with
+the two-level schedule cache and the process-persistent warm pool
+(``--cache-dir`` is also read from ``REPRO_SCHEDULE_CACHE``)::
+
+    python -m repro.harness campaign --faults 200 --warm-pool \
+        --cache-dir /tmp/repro-schedules
+    python -m repro.harness cache stats --cache-dir /tmp/repro-schedules
+    python -m repro.harness cache clear --cache-dir /tmp/repro-schedules
 """
 
 from __future__ import annotations
@@ -58,19 +67,23 @@ from typing import List, Optional, Sequence
 from repro.harness import experiments as exp
 
 
-def _artifact(name: str, runs: int, jobs: Optional[int] = None) -> str:
+def _artifact(name: str, runs: int, jobs: Optional[int] = None,
+              warm_pool: bool = False) -> str:
     if name == "table1":
-        return exp.render_table1(exp.run_table1(runs=runs, jobs=jobs))
+        return exp.render_table1(exp.run_table1(runs=runs, jobs=jobs,
+                                                warm_pool=warm_pool))
     if name == "table2":
         return exp.render_table2(exp.run_table2())
     if name == "fig7":
         return exp.render_fig7(exp.run_fig7())
     if name == "divergence":
-        return exp.render_divergence(exp.run_divergence(runs=runs, jobs=jobs))
+        return exp.render_divergence(exp.run_divergence(
+            runs=runs, jobs=jobs, warm_pool=warm_pool))
     if name == "panopticon":
         return exp.render_panopticon(*exp.run_panopticon())
     if name == "timewarp":
-        return exp.render_time_warp(exp.run_time_warp(jobs=jobs))
+        return exp.render_time_warp(exp.run_time_warp(jobs=jobs,
+                                                      warm_pool=warm_pool))
     if name == "case-debugging":
         return exp.render_case_debugging(exp.run_case_debugging())
     if name == "case-testing":
@@ -216,7 +229,29 @@ def _render_kernel_stats(stats: dict) -> str:
                 f"schedule cache: {hit} for this run "
                 f"({cache['hits']} hit(s), {cache['misses']} miss(es), "
                 f"{cache['entries']} cached schedule(s) in-process)")
+            lines.extend(_render_cache_tiers(cache))
     return "\n".join(lines)
+
+
+def _render_cache_tiers(cache: dict) -> List[str]:
+    """Disk-tier and warm-pool lines of a schedule_cache_stats() dict."""
+    lines = []
+    if cache.get("disk_dir"):
+        lines.append(
+            f"disk tier: {cache['disk_hits']} hit(s), "
+            f"{cache['disk_misses']} miss(es), "
+            f"{cache['disk_invalidations']} invalidation(s), "
+            f"{cache['disk_writes']} write(s); {cache['disk_entries']} "
+            f"entr{'y' if cache['disk_entries'] == 1 else 'ies'} "
+            f"({cache['disk_bytes']} bytes) in {cache['disk_dir']}")
+    if cache.get("affinity_dispatches"):
+        lines.append(
+            f"warm pool: {cache['warm_pool_live']}/{cache['warm_pool_size']} "
+            f"worker(s) live, affinity hit rate "
+            f"{cache['affinity_hit_rate']:.0%} over "
+            f"{cache['affinity_dispatches']} dispatch(es), "
+            f"{cache['workers_recycled']} recycled")
+    return lines
 
 
 def _cmd_replay(args) -> int:
@@ -250,7 +285,9 @@ def _cmd_replay(args) -> int:
         checkpoints = load_checkpoints(args.checkpoints)
         result = replay_sharded(spec, trace, checkpoints, jobs=args.jobs,
                                 time_warp=time_warp, injector=injector,
-                                scheduler=args.scheduler)
+                                scheduler=args.scheduler,
+                                warm_pool=args.warm_pool,
+                                cache_dir=args.cache_dir)
         if injector is not None:
             for entry in injector.log:
                 print(f"fault: {entry}")
@@ -281,9 +318,61 @@ def _cmd_campaign(args) -> int:
                           scheduler=args.scheduler,
                           batch_size=args.batch_size,
                           flight_recorder=args.flight_recorder,
+                          warm_pool=args.warm_pool,
+                          cache_dir=args.cache_dir,
                           progress=lambda msg: print(f"  {msg}"))
     print(report.render())
     return 0 if not report.silent_accepts else 1
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or clear the on-disk compiled-schedule cache."""
+    from repro.sim import schedule_store
+    from repro.sim.compile import schedule_cache_stats
+
+    if args.cache_dir:
+        schedule_store.configure(args.cache_dir)
+    if schedule_store.cache_dir() is None:
+        print("no schedule cache directory configured (use --cache-dir "
+              "or set REPRO_SCHEDULE_CACHE)", file=sys.stderr)
+        return 2
+    if args.action == "clear":
+        removed = schedule_store.clear()
+        print(f"removed {removed} cached schedule(s) from "
+              f"{schedule_store.cache_dir()}")
+        return 0
+    stats = schedule_cache_stats()
+    print(f"schedule cache: {stats['hits']} hit(s), "
+          f"{stats['misses']} miss(es), {stats['uncacheable']} "
+          f"uncacheable, {stats['entries']} in-process entr"
+          f"{'y' if stats['entries'] == 1 else 'ies'}")
+    for line in _render_cache_tiers(stats):
+        print(line)
+    return 0
+
+
+def _add_cache_args(parser: argparse.ArgumentParser,
+                    warm: bool = True) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="two-level compiled-schedule cache directory (also set by "
+             "the REPRO_SCHEDULE_CACHE environment variable): cold "
+             "compiles persist kernels there, later runs and warm "
+             "workers re-bind them without re-levelizing")
+    if warm:
+        parser.add_argument(
+            "--warm-pool", action="store_true",
+            help="dispatch worker cells through the process-persistent "
+                 "warm pool (pre-imported workers, schedules pre-bound "
+                 "from the disk cache, topology-affinity routing) "
+                 "instead of a throwaway process pool")
+
+
+def _apply_cache_dir(args) -> None:
+    if getattr(args, "cache_dir", None):
+        from repro.sim import schedule_store
+
+        schedule_store.configure(args.cache_dir)
 
 
 def _add_scheduler_arg(parser: argparse.ArgumentParser) -> None:
@@ -311,6 +400,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "(table1/divergence; deterministic)")
     p_art.add_argument("-o", "--output",
                        help="also write the artefact(s) to this file")
+    _add_cache_args(p_art)
     p_rec = sub.add_parser("record", help="record one application run")
     p_rec.add_argument("app")
     p_rec.add_argument("-o", "--output", required=True)
@@ -350,6 +440,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        default=DEFAULT_FLIGHT_ANCHOR_STRIDE, metavar="N",
                        help="cycles between re-anchor checkpoint attempts")
     _add_scheduler_arg(p_rec)
+    _add_cache_args(p_rec, warm=False)
     p_rec.set_defaults(func=_cmd_record)
     p_rep = sub.add_parser("replay", help="replay and validate a trace")
     p_rep.add_argument("app")
@@ -374,6 +465,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_rep.add_argument("--inject-seed", type=int, default=0,
                        help="seed for the fault plan's random choices")
     _add_scheduler_arg(p_rep)
+    _add_cache_args(p_rep)
     p_rep.set_defaults(func=_cmd_replay)
     p_cam = sub.add_parser(
         "campaign", help="seeded fault-injection campaign: inject hundreds "
@@ -394,7 +486,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "recorder and attack the v3 container in the "
                             "blob trials")
     _add_scheduler_arg(p_cam)
+    _add_cache_args(p_cam)
     p_cam.set_defaults(func=_cmd_campaign)
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk compiled-schedule "
+        "cache shared by --cache-dir runs")
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    _add_cache_args(p_cache, warm=False)
+    p_cache.set_defaults(func=_cmd_cache)
 
     # Back-compat: `python -m repro.harness table2` without the
     # `artifact` keyword still works.
@@ -407,8 +506,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    if args.command in ("record", "replay", "campaign"):
+    if args.command in ("record", "replay", "campaign", "cache"):
+        if args.command != "cache":
+            _apply_cache_dir(args)
         return args.func(args)
+    _apply_cache_dir(args)
     if args.artifact == "all":
         names: List[str] = list(ALL)
     elif args.artifact == "fast":
@@ -417,7 +519,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = [args.artifact]
     pieces = []
     for name in names:
-        text = _artifact(name, args.runs, jobs=args.jobs)
+        text = _artifact(name, args.runs, jobs=args.jobs,
+                         warm_pool=args.warm_pool)
         print(text)
         print()
         pieces.append(text)

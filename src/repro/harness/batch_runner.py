@@ -52,11 +52,18 @@ class BatchRunner:
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
-                 scheduler: Optional[str] = "compiled"):
+                 scheduler: Optional[str] = "compiled",
+                 cache_dir: Optional[str] = None):
         if batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
         self.scheduler = scheduler
+        self.cache_dir = cache_dir
+        if cache_dir is not None:
+            # Point the two-level schedule cache at the directory so the
+            # per-instance elaborations the batches pack from hit disk.
+            from repro.sim import schedule_store
+            schedule_store.configure(cache_dir)
 
     # ------------------------------------------------------------------
     def record_batch(self, spec: AppSpec, config: VidiConfig,
@@ -180,7 +187,8 @@ class BatchRunner:
                 # An explicit per-cell scheduler: pack on that kernel
                 # instead (fixpoint cells fall back to scalar inside).
                 runner = BatchRunner(batch_size=self.batch_size,
-                                     scheduler=group[0].scheduler)
+                                     scheduler=group[0].scheduler,
+                                     cache_dir=self.cache_dir)
             metrics_list = runner.record_batch(
                 _cell_spec(group[0]), _cell_config(group[0]),
                 seeds=[c.seed for c in group], scale=group[0].scale)

@@ -252,7 +252,9 @@ def replay_sharded(spec: AppSpec, trace: TraceFile,
                    retries: int = 2,
                    injector=None,
                    scheduler: Optional[str] = None,
-                   batched: bool = False) -> ShardedReplayResult:
+                   batched: bool = False,
+                   warm_pool: bool = False,
+                   cache_dir: Optional[str] = None) -> ShardedReplayResult:
     """Replay ``trace`` split at checkpointed boundaries across workers.
 
     ``segments`` defaults to ``jobs`` (one segment per worker); ``jobs`` of
@@ -261,8 +263,14 @@ def replay_sharded(spec: AppSpec, trace: TraceFile,
     byte-identical to a sequential replay's, so callers feed it straight
     into :func:`~repro.core.divergence.compare_traces`.
 
+    ``warm_pool=True`` routes the shard workers through the
+    process-persistent :mod:`~repro.harness.worker_pool` (pre-imported,
+    schedule-pre-bound workers with topology-affinity dispatch);
+    ``cache_dir`` points the two-level schedule cache at a directory.
+
     Worker deaths are absorbed: crashed shards are retried up to
-    ``retries`` times on fresh pools and, failing that, replayed inline —
+    ``retries`` times (replacing only the executors actually lost to the
+    crash) and, failing that, replayed inline —
     every shard is a pure function of its cell, so the stitched result is
     byte-identical no matter how many attempts a shard needed. ``injector``
     (a :class:`~repro.faults.injector.FaultInjector` with a
@@ -300,7 +308,8 @@ def replay_sharded(spec: AppSpec, trace: TraceFile,
         if injector is not None:
             worker = injector.crashing_worker(worker, cells)
         results = run_cells(cells, worker, jobs=jobs, retries=retries,
-                            fallback_inline=True)
+                            fallback_inline=True, warm_pool=warm_pool,
+                            cache_dir=cache_dir)
     stitched = TraceFile(
         table=trace.table,
         body=b"".join(r["validation_body"] for r in results),

@@ -376,6 +376,12 @@ def _term_key(term: tuple, mod_addr, sig_addr) -> Optional[tuple]:
     return None
 
 
+# Class → (qualified name, comb overridden, seq overridden, seq inline
+# overridden), computed once per class: the key is taken for every
+# simulator of a sweep, so the per-module work matters.
+_CLASS_FACTS: Dict[type, tuple] = {}
+
+
 def schedule_key(sim) -> Optional[tuple]:
     """A hashable fingerprint of everything the generated source depends on.
 
@@ -386,22 +392,58 @@ def schedule_key(sim) -> Optional[tuple]:
     a construct the fingerprint cannot address (the kernel then simply
     isn't cached).
     """
-    mod_addr, sig_addr = _structural_maps(sim)
+    # Fingerprint-only addressing: signals encode as compact ints
+    # (owner_order * 2**20 + index) rather than the recipe's
+    # ("signal", order, idx) tuples — the key is hashed and compared,
+    # never resolved, so the cheaper encoding is free speed on the
+    # disk-hit path. Module addresses (only consulted by seq_idle guard
+    # terms) are built lazily for the same reason.
+    modules = sim.modules
+    sig_addr: Dict[int, int] = {}
+    sig_put = sig_addr.setdefault
+    for module in modules:
+        base = module._order << 20
+        idx = 0
+        for sig in module._signals:
+            sig_put(id(sig), base + idx)
+            idx += 1
+    mod_addr: Optional[Dict[int, int]] = None
+    sig_get = sig_addr.get
     entries: List[tuple] = []
-    for module in sim.modules:
+    emit = entries.append
+    class_facts = _CLASS_FACTS
+    for module in modules:
         cls = type(module)
+        facts = class_facts.get(cls)
+        if facts is None:
+            facts = (f"{cls.__module__}.{cls.__qualname__}",
+                     cls.comb is not Module.comb,
+                     cls.seq is not Module.seq,
+                     cls.seq_inline_source is not Module.seq_inline_source)
+            class_facts[cls] = facts
+        cls_name, comb_overridden, seq_overridden, inline_overridden = facts
         sens: Optional[tuple]
         if module._sensitivity is None:
             sens = None
         else:
-            sens = tuple(sig_addr.get(id(s), ("?",)) for s in module._sensitivity)
-            if any(a == ("?",) for a in sens):
+            addrs = []
+            for s in module._sensitivity:
+                addr = sig_get(id(s))
+                if addr is None:
+                    return None
+                addrs.append(addr)
+            sens = tuple(addrs)
+        addrs = []
+        for s in (module._drives or ()):
+            addr = sig_get(id(s))
+            if addr is None:
                 return None
-        drv = tuple(sig_addr.get(id(s), ("?",)) for s in (module._drives or ()))
-        if any(a == ("?",) for a in drv):
-            return None
+            addrs.append(addr)
+        drv = tuple(addrs)
         terms: Optional[tuple] = None
         if module._seq_idle is not None:
+            if mod_addr is None:
+                mod_addr = {id(m): m._order for m in modules}
             keyed = [_term_key(t, mod_addr, sig_addr) for t in module._seq_idle]
             if any(k is None for k in keyed):
                 return None
@@ -410,18 +452,16 @@ def schedule_key(sim) -> Optional[tuple]:
         # inlining, so it must split the cache key too.
         seq_wrapped = "seq" in module.__dict__
         inline_key = None
-        if (not seq_wrapped
-                and type(module).seq_inline_source
-                is not Module.seq_inline_source):
+        if not seq_wrapped and inline_overridden:
             inline_key = module.seq_inline_key()
             if inline_key is False:
                 return None
-        entries.append((
-            f"{cls.__module__}.{cls.__qualname__}",
+        emit((
+            cls_name,
             module.has_comb,
             module.comb_static,
-            type(module).comb is not Module.comb,
-            type(module).seq is not Module.seq,
+            comb_overridden,
+            seq_overridden,
             seq_wrapped,
             len(module._signals),
             sens, drv, terms, inline_key,
@@ -456,19 +496,54 @@ class _CacheEntry:
 _SCHEDULE_CACHE: Dict[tuple, _CacheEntry] = {}
 _CACHE_STATS = {"hits": 0, "misses": 0, "uncacheable": 0}
 
+# Extra observability providers merged into schedule_cache_stats() —
+# higher layers (the warm worker pool) register theirs at import so the
+# sim layer never has to import the harness.
+_EXTRA_STATS_PROVIDERS: List = []
+
+
+def register_cache_stats_provider(provider) -> None:
+    """Merge ``provider()`` (a dict) into every ``schedule_cache_stats()``."""
+    if provider not in _EXTRA_STATS_PROVIDERS:
+        _EXTRA_STATS_PROVIDERS.append(provider)
+
 
 def schedule_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters plus the live entry count (for ``--profile``)."""
-    stats = dict(_CACHE_STATS)
+    """Two-tier hit/miss counters plus entry counts (for ``--profile``).
+
+    In-process tier: ``hits``/``misses``/``uncacheable``/``entries``.
+    Disk tier (:mod:`repro.sim.schedule_store`): ``disk_hits``,
+    ``disk_misses``, ``disk_invalidations``, ``disk_writes``,
+    ``disk_entries``, ``disk_bytes``, ``disk_dir``. Registered providers
+    (the warm worker pool's affinity counters) are merged last.
+    """
+    from repro.sim import schedule_store
+
+    stats: Dict[str, int] = dict(_CACHE_STATS)
     stats["entries"] = len(_SCHEDULE_CACHE)
+    stats.update(schedule_store.stats())
+    for provider in list(_EXTRA_STATS_PROVIDERS):
+        try:
+            stats.update(provider())
+        except Exception:   # a stats provider must never break a report
+            pass
     return stats
 
 
 def clear_schedule_cache() -> None:
-    """Drop all cached schedules and zero the counters (tests)."""
+    """Drop all cached schedules and zero the counters (tests).
+
+    Clears the in-process tier and the disk tier's counters and RAM
+    mirror; on-disk entry *files* survive (use
+    :func:`repro.sim.schedule_store.clear` to delete those).
+    """
+    from repro.sim import schedule_store
+
     _SCHEDULE_CACHE.clear()
     for k in _CACHE_STATS:
         _CACHE_STATS[k] = 0
+    schedule_store.reset_stats()
+    schedule_store._PRELOADED.clear()
 
 
 def _resolve(recipe: Dict[str, tuple], sim) -> Dict[str, object]:
@@ -476,12 +551,12 @@ def _resolve(recipe: Dict[str, tuple], sim) -> Dict[str, object]:
     ns: Dict[str, object] = {}
     for name, addr in recipe.items():
         kind = addr[0]
-        if kind == "const":
+        if kind == "signal":
+            ns[name] = mods[addr[1]]._signals[addr[2]]
+        elif kind == "const":
             ns[name] = addr[1]
         elif kind == "module":
             ns[name] = mods[addr[1]]
-        elif kind == "signal":
-            ns[name] = mods[addr[1]]._signals[addr[2]]
         elif kind == "seq":
             ns[name] = mods[addr[1]].seq
         elif kind == "modtuple":
@@ -497,7 +572,7 @@ def _resolve(recipe: Dict[str, tuple], sim) -> Dict[str, object]:
 
 def _materialize_levelization(entry: _CacheEntry, sim) -> Levelization:
     mods = sim.modules
-    stages = [Stage(tuple(mods[o] for o in orders), iterative, level)
+    stages = [Stage(tuple([mods[o] for o in orders]), iterative, level)
               for orders, iterative, level in entry.stage_shapes]
     always = [mods[o] for o in entry.always_orders]
     dynamic = [mods[o] for o in entry.dynamic_orders]
@@ -541,11 +616,28 @@ def compile_kernel(sim) -> CompiledKernel:
     compile stores (source, code, binding recipe); later ones re-bind in
     microseconds. ``sim.schedule_cache_hit`` records which path ran.
     """
+    from repro.sim import schedule_store
+
     key = schedule_key(sim)
     entry = _SCHEDULE_CACHE.get(key) if key is not None else None
+    tier = "memory"
+    if entry is None and key is not None:
+        stored = schedule_store.load(key)
+        if stored is not None:
+            # Promote the disk artifact into the in-process tier so every
+            # later topology-identical sim in this process binds from RAM.
+            entry = _CacheEntry(
+                stored["source"], stored["code"], stored["recipe"],
+                stored["stage_shapes"], stored["always_orders"],
+                stored["dynamic_orders"], stored["guarded_seq"],
+                stored["total_seq"], stored["rank_count"],
+                stored["demoted_sccs"])
+            _SCHEDULE_CACHE[key] = entry
+            tier = "disk"
     if entry is not None:
         _CACHE_STATS["hits"] += 1
         sim.schedule_cache_hit = True
+        sim.schedule_cache_tier = tier
         sim.rank_count = entry.rank_count
         sim.demoted_sccs = entry.demoted_sccs
         sim.rank_evals = [0] * entry.rank_count
@@ -558,6 +650,7 @@ def compile_kernel(sim) -> CompiledKernel:
                               cache_hit=True)
 
     sim.schedule_cache_hit = False
+    sim.schedule_cache_tier = "cold"
     lev = levelize(sim._event_comb, sim._always_comb, sim._dynamic_comb)
     sim.rank_count = lev.rank_count
     sim.demoted_sccs = lev.demoted_sccs
@@ -755,13 +848,18 @@ def compile_kernel(sim) -> CompiledKernel:
 
     if key is not None and sigbind.cacheable:
         _CACHE_STATS["misses"] += 1
+        stage_shapes = tuple(
+            (tuple(m._order for m in s.modules), s.iterative, s.level)
+            for s in lev.stages)
+        always_orders = tuple(m._order for m in lev.always)
+        dynamic_orders = tuple(m._order for m in lev.dynamic)
         _SCHEDULE_CACHE[key] = _CacheEntry(
-            source, code, recipe,
-            tuple((tuple(m._order for m in s.modules), s.iterative, s.level)
-                  for s in lev.stages),
-            tuple(m._order for m in lev.always),
-            tuple(m._order for m in lev.dynamic),
+            source, code, recipe, stage_shapes, always_orders, dynamic_orders,
             guarded, len(sim._seq_modules), lev.rank_count, lev.demoted_sccs)
+        schedule_store.save(
+            key, source, code, recipe, stage_shapes, always_orders,
+            dynamic_orders, guarded, len(sim._seq_modules), lev.rank_count,
+            lev.demoted_sccs)
     else:
         _CACHE_STATS["uncacheable"] += 1
     return CompiledKernel(ns["_step"], source, lev, guarded,

@@ -134,8 +134,10 @@ class Simulator:
         self.demoted_sccs = 0
         self.rank_evals: List[int] = []
         # True when this sim's compiled kernel was re-bound from the
-        # in-process schedule cache instead of freshly generated.
+        # in-process schedule cache instead of freshly generated; the
+        # tier records which level served it ("memory"/"disk"/"cold").
         self.schedule_cache_hit = False
+        self.schedule_cache_tier = "none"
 
     # ------------------------------------------------------------------
     # construction
