@@ -1,21 +1,24 @@
 # Development entry points. `make check` is the pre-merge gate: the full
 # tier-1 test suite, the throughput benches (which enforce the
 # event-scheduler, compiled-kernel, batch-kernel, time-warp,
-# flight-recorder and warm-pool/compile-cache floors and refresh
-# BENCH_kernel.json / BENCH_compiled.json / BENCH_batch.json /
-# BENCH_replay.json / BENCH_flightrec.json / BENCH_warm.json), and the
-# fault campaign (200 seeded faults across every kind; fails on any
-# silent wrong-accept).
+# flight-recorder, warm-pool/compile-cache and trace-service floors and
+# refresh BENCH_kernel.json / BENCH_compiled.json / BENCH_batch.json /
+# BENCH_replay.json / BENCH_flightrec.json / BENCH_warm.json /
+# BENCH_service.json — every refreshed snapshot is also appended to the
+# bench-history table in benchmarks/results/results.vrs), and the fault
+# campaign (200 seeded faults across every kind; fails on any silent
+# wrong-accept).
 
 PYTHON ?= python
 PYTEST := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PYTHON) -m pytest
 
 .PHONY: check test test-schedulers bench-kernel bench-compiled bench-batch \
-        bench-replay bench-flightrec bench-warm bench artifacts faults \
-        faults-batched faults-flightrec faults-warm
+        bench-replay bench-flightrec bench-warm bench-service bench \
+        artifacts faults faults-batched faults-flightrec faults-warm \
+        serve-smoke
 
 check: test bench-kernel bench-compiled bench-batch bench-replay \
-       bench-flightrec bench-warm faults
+       bench-flightrec bench-warm bench-service faults
 
 faults:          ## seeded 200-fault injection campaign (containment gate)
 	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
@@ -58,6 +61,13 @@ bench-flightrec: ## flight recorder + BENCH_flightrec.json (ratio/overhead)
 
 bench-warm:      ## compile cache + warm pool + BENCH_warm.json (floors)
 	$(PYTEST) benchmarks/test_warm_pool.py -q -s
+
+bench-service:   ## trace-service daemon + BENCH_service.json (batch/ingest)
+	$(PYTEST) benchmarks/test_service.py -q -s
+
+serve-smoke:     ## end-to-end daemon smoke: subprocess, jobs, ingest, drain
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+	  $(PYTHON) -m repro.service.smoke
 
 bench:           ## every benchmark (regenerates benchmarks/results/)
 	$(PYTEST) benchmarks -q -s

@@ -7,8 +7,10 @@ controls the per-configuration sample count of the overhead experiments
 (default 3; the paper used 10).
 """
 
+import json
 import os
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -19,6 +21,9 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+# Same filename the daemon's store uses, so `vidi results --data-dir
+# benchmarks/results --kind bench` queries the history with no extra flags.
+HISTORY_STORE = RESULTS_DIR / "results.vrs"
 
 
 def bench_runs(default: int = 3) -> int:
@@ -35,3 +40,34 @@ def emit(capsys):
         with capsys.disabled():
             print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
     return _emit
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _persist_bench_history():
+    """Append every BENCH_*.json this session refreshed to the history store.
+
+    ``BENCH_kernel.json`` and friends are point-in-time snapshots — each
+    ``make check`` overwrites the last run's numbers. The results store's
+    bench-history table (``benchmarks/results/results.vrs``, same
+    CRC-framed store the trace-service daemon uses) accretes instead, so
+    the perf trajectory across runs stays queryable::
+
+        vidi results --data-dir benchmarks/results --kind bench
+
+    Best-effort by design: history bookkeeping must never fail a bench.
+    """
+    started = time.time()
+    yield
+    try:
+        from repro.service.results import record_bench
+
+        for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+            if path.stat().st_mtime < started:
+                continue   # stale snapshot from an earlier session
+            try:
+                payload = json.loads(path.read_text())
+            except ValueError:
+                continue
+            record_bench(path.stem[len("BENCH_"):], payload, HISTORY_STORE)
+    except Exception:
+        pass

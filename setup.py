@@ -13,4 +13,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy"],
+    entry_points={"console_scripts": ["vidi = repro.tools.cli:main"]},
 )

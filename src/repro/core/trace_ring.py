@@ -24,20 +24,30 @@ drained bytes: they consume zero simulated cycles and cannot perturb
 back-pressure or handshake timing. Two flight recordings that differ only
 in retention budget therefore produce bit-identical packet streams — the
 property the wrap-boundary replay tests pin.
+
+The retention policy itself lives in :class:`FrameRing`, which is shared
+with the trace-service daemon: the daemon's per-tenant ingest keeps the
+same epoch-granular, anchor-led window over frames it *receives* (already
+framed by a remote recorder) instead of frames it emits locally.
+:class:`FrameStreamParser` is the ingest-side complement — an incremental
+splitter that reassembles CRC-checked frames from arbitrarily chunked
+network reads.
 """
 
 from __future__ import annotations
 
 import zlib
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import (DEFAULT_FLIGHT_COMPRESS_LEVEL,
                                DEFAULT_FLIGHT_RETAIN_WORDS)
 from repro.core.store import STORAGE_WORD_BYTES, TraceStore
-from repro.core.trace_file import (FRAME_ANCHOR, FRAME_RUN, _FRAME_HEADER,
+from repro.core.trace_file import (FRAME_ANCHOR, FRAME_END, FRAME_RUN,
+                                   _FRAME_HEADER, _FRAME_KINDS,
                                    _expand_v3_frames, encode_anchor_frame,
                                    encode_end_frame, encode_frame)
+from repro.errors import TraceFormatError
 
 DEFAULT_RUN_BYTES = 1 << 16
 """Raw dedup-stream bytes gathered into one compressed RUN frame.
@@ -48,6 +58,170 @@ it only sets the spill cadence and the granularity salvage loses to a
 torn frame."""
 
 
+class FrameRing:
+    """Epoch-granular bounded retention over encoded v3 frames.
+
+    Holds ``(kind, payload)`` frames (payloads already compressed) and
+    evicts whole epochs — an ANCHOR and its RUN frames — from the front
+    once the retained bytes exceed ``retain_bytes``. The last epoch is
+    never evicted: with no later anchor to re-lead the window, the ring
+    would hold nothing replayable; if anchors are sparse the ring
+    temporarily overshoots its budget instead of destroying data.
+
+    ``observer`` (when set) is called with ``(kind, payload)`` for every
+    appended frame *before* eviction runs — the hook live ingest streaming
+    uses to forward frames to the trace-service daemon as they are
+    emitted. The observer sees the unbounded frame sequence; retention
+    only governs what this ring keeps locally.
+    """
+
+    def __init__(self, retain_bytes: int,
+                 observer: Optional[Callable[[int, bytes], None]] = None):
+        self.retain_bytes = retain_bytes
+        self.observer = observer
+        self._frames: Deque[Tuple[int, bytes]] = deque()
+        self._retained_bytes = 0
+        self._retained_anchors = 0
+        # Cumulative stats (never reduced by eviction).
+        self.frames_emitted = 0
+        self.anchors_emitted = 0
+        self.frame_bytes_total = 0
+        self.evicted_frames = 0
+        self.evicted_bytes = 0
+        self.evicted_epochs = 0
+
+    # ------------------------------------------------------------------
+    def append(self, kind: int, payload: bytes) -> None:
+        """Retain one frame, notify the observer, evict stale epochs."""
+        self._frames.append((kind, payload))
+        size = _FRAME_HEADER + len(payload)
+        self._retained_bytes += size
+        self.frame_bytes_total += size
+        self.frames_emitted += 1
+        if kind == FRAME_ANCHOR:
+            self._retained_anchors += 1
+            self.anchors_emitted += 1
+        if self.observer is not None:
+            self.observer(kind, payload)
+        self.evict()
+
+    def evict(self) -> None:
+        """Drop whole epochs from the front while over the byte budget."""
+        while (self._retained_bytes > self.retain_bytes
+               and self._retained_anchors > 1):
+            self._drop_head()
+            while self._frames and self._frames[0][0] != FRAME_ANCHOR:
+                self._drop_head()
+            self.evicted_epochs += 1
+
+    def _drop_head(self) -> None:
+        kind, payload = self._frames.popleft()
+        size = _FRAME_HEADER + len(payload)
+        self._retained_bytes -= size
+        self.evicted_frames += 1
+        self.evicted_bytes += size
+        if kind == FRAME_ANCHOR:
+            self._retained_anchors -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def retained_bytes(self) -> int:
+        return self._retained_bytes
+
+    @property
+    def retained_anchors(self) -> int:
+        return self._retained_anchors
+
+    def frame_list(self) -> List[Tuple[int, bytes]]:
+        """The retained ``(kind, payload)`` frames, oldest first."""
+        return list(self._frames)
+
+    def frame_stream(self, end: bool = True) -> bytes:
+        """The retained frames as encoded v3 frame bytes (+ END marker)."""
+        parts = [encode_frame(kind, payload)
+                 for kind, payload in self._frames]
+        if end:
+            parts.append(encode_end_frame())
+        return b"".join(parts)
+
+    def clear(self) -> None:
+        """Forget everything, including the cumulative counters."""
+        self._frames.clear()
+        self._retained_bytes = 0
+        self._retained_anchors = 0
+        self.frames_emitted = 0
+        self.anchors_emitted = 0
+        self.frame_bytes_total = 0
+        self.evicted_frames = 0
+        self.evicted_bytes = 0
+        self.evicted_epochs = 0
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "frames": self.frames_emitted,
+            "anchors": self.anchors_emitted,
+            "frame_bytes": self.frame_bytes_total,
+            "retained_bytes": self._retained_bytes,
+            "retained_anchors": self._retained_anchors,
+            "evicted_frames": self.evicted_frames,
+            "evicted_bytes": self.evicted_bytes,
+            "evicted_epochs": self.evicted_epochs,
+        }
+
+
+class FrameStreamParser:
+    """Incremental v3 frame splitter for chunked ingest reads.
+
+    Network reads land on arbitrary byte boundaries; :meth:`feed` buffers
+    the remainder and yields every complete ``(kind, payload)`` frame,
+    CRC-verified. Damage — an unknown kind byte or a CRC mismatch —
+    raises :class:`~repro.errors.TraceFormatError` immediately: the
+    daemon journals raw bytes *before* parsing, so the on-disk copy keeps
+    the torn evidence for v3 resync salvage while the live ring stops
+    accepting a stream it can no longer trust.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+        self.frames_parsed = 0
+        self.bytes_consumed = 0
+        self.end_seen = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered while waiting for the rest of a frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        self._buf += data
+        frames: List[Tuple[int, bytes]] = []
+        buf = self._buf
+        offset = 0
+        while offset + _FRAME_HEADER <= len(buf):
+            kind = buf[offset]
+            if kind not in _FRAME_KINDS:
+                raise TraceFormatError(
+                    f"ingest stream: unknown frame kind 0x{kind:02x}")
+            plen = int.from_bytes(buf[offset + 1:offset + 5], "little")
+            crc = int.from_bytes(buf[offset + 5:offset + 9], "little")
+            end = offset + _FRAME_HEADER + plen
+            if end > len(buf):
+                break
+            payload = bytes(buf[offset + _FRAME_HEADER:end])
+            if zlib.crc32(payload) != crc:
+                raise TraceFormatError(
+                    f"ingest stream: frame CRC32 mismatch at relative "
+                    f"byte {offset}")
+            frames.append((kind, payload))
+            self.frames_parsed += 1
+            if kind == FRAME_END:
+                self.end_seen = True
+            offset = end
+        del buf[:offset]
+        self.bytes_consumed += offset
+        return frames
+
+
 class RingTraceStore(TraceStore):
     """A :class:`TraceStore` that retains a compressed, anchored ring.
 
@@ -56,7 +230,8 @@ class RingTraceStore(TraceStore):
     is what happens to drained bytes: instead of accumulating forever in
     ``self.data``, they are framed into compressed RUN frames (``data``
     only ever holds the not-yet-framed remainder) and old epochs are
-    evicted once the ring exceeds ``retain_words`` storage words.
+    evicted — by the embedded :class:`FrameRing` — once the ring exceeds
+    ``retain_words`` storage words.
     """
 
     is_ring = True
@@ -76,11 +251,7 @@ class RingTraceStore(TraceStore):
         self.retain_bytes = retain_words * STORAGE_WORD_BYTES
         self.compress_level = compress_level
         self._run_bytes = run_bytes
-        # Retained frames as (kind, payload) — payloads are already
-        # compressed; re-framing for serialization is pure concatenation.
-        self._frames: Deque[Tuple[int, bytes]] = deque()
-        self._retained_bytes = 0
-        self._retained_anchors = 0
+        self.ring = FrameRing(self.retain_bytes)
         self._framed_raw = 0          # stream bytes already framed
         # Anchors queued by byte watermark: (watermark, ordinal, cycle,
         # checkpoint-dict). The watermark is total_packet_bytes at request
@@ -89,14 +260,23 @@ class RingTraceStore(TraceStore):
         self._pending_anchors: Deque[Tuple[int, int, int, Optional[dict]]] = \
             deque()
         self._last_anchor_watermark = -1
-        # Cumulative stats (never reduced by eviction).
-        self.frames_emitted = 0
-        self.anchors_emitted = 0
-        self.frame_bytes_total = 0
-        self.evicted_frames = 0
-        self.evicted_bytes = 0
-        self.evicted_epochs = 0
         self._emit_genesis()
+
+    # ------------------------------------------------------------------
+    def set_observer(
+            self,
+            observer: Optional[Callable[[int, bytes], None]]) -> None:
+        """Install a live frame observer (see :class:`FrameRing`).
+
+        When installed after construction, the frames already retained —
+        at minimum the genesis ANCHOR — are replayed to the observer
+        first, so a late-attaching ingest stream still starts anchor-led.
+        """
+        self.ring.observer = None
+        if observer is not None:
+            for kind, payload in self.ring.frame_list():
+                observer(kind, payload)
+        self.ring.observer = observer
 
     # ------------------------------------------------------------------
     def _emit_genesis(self) -> None:
@@ -112,19 +292,12 @@ class RingTraceStore(TraceStore):
         return encode_anchor_frame(ordinal, cycle, checkpoint)[_FRAME_HEADER:]
 
     def _emit_frame(self, kind: int, payload: bytes) -> None:
-        self._frames.append((kind, payload))
-        size = _FRAME_HEADER + len(payload)
-        self._retained_bytes += size
-        self.frame_bytes_total += size
-        self.frames_emitted += 1
         if kind == FRAME_ANCHOR:
-            self._retained_anchors += 1
-            self.anchors_emitted += 1
             # New epoch: restart the shared DEFLATE stream, so an
             # anchor-led window decodes with no history from (possibly
             # evicted) earlier epochs.
             self._cobj = zlib.compressobj(self.compress_level)
-        self._evict()
+        self.ring.append(kind, payload)
 
     def _emit_runs(self, raw: "bytes | bytearray") -> None:
         # Segments of one per-epoch DEFLATE stream: Z_SYNC_FLUSH makes
@@ -136,32 +309,6 @@ class RingTraceStore(TraceStore):
             self._emit_frame(FRAME_RUN, cobj.compress(chunk)
                              + cobj.flush(zlib.Z_SYNC_FLUSH))
         self._framed_raw += len(raw)
-
-    def _evict(self) -> None:
-        """Drop whole epochs from the front while over the word budget.
-
-        Eviction granularity is one epoch (an ANCHOR and its RUN frames):
-        a partial epoch is undecodable anyway, since its dedup stream
-        depends on the dictionary state its anchor reset. The last epoch
-        is never evicted — with no later anchor to re-lead the window, the
-        ring would hold nothing replayable; if anchors are sparse the ring
-        temporarily overshoots its budget instead of destroying data.
-        """
-        while (self._retained_bytes > self.retain_bytes
-               and self._retained_anchors > 1):
-            self._drop_head()
-            while self._frames and self._frames[0][0] != FRAME_ANCHOR:
-                self._drop_head()
-            self.evicted_epochs += 1
-
-    def _drop_head(self) -> None:
-        kind, payload = self._frames.popleft()
-        size = _FRAME_HEADER + len(payload)
-        self._retained_bytes -= size
-        self.evicted_frames += 1
-        self.evicted_bytes += size
-        if kind == FRAME_ANCHOR:
-            self._retained_anchors -= 1
 
     # ------------------------------------------------------------------
     def request_anchor(self, ordinal: int, cycle: int,
@@ -227,15 +374,11 @@ class RingTraceStore(TraceStore):
     # ------------------------------------------------------------------
     def frame_list(self) -> List[Tuple[int, bytes]]:
         """The retained ``(kind, payload)`` frames, oldest first."""
-        return list(self._frames)
+        return self.ring.frame_list()
 
     def frame_stream(self, end: bool = True) -> bytes:
         """The retained frames as encoded v3 frame bytes (+ END marker)."""
-        parts = [encode_frame(kind, payload)
-                 for kind, payload in self._frames]
-        if end:
-            parts.append(encode_end_frame())
-        return b"".join(parts)
+        return self.ring.frame_stream(end=end)
 
     def expand(self, table, with_validation: bool, dedup_slots: int):
         """Expand the retained window to a flat packet body.
@@ -249,40 +392,61 @@ class RingTraceStore(TraceStore):
                                  dedup_slots, tolerate=False)
 
     # ------------------------------------------------------------------
+    # counters (delegated to the embedded ring; names kept stable for the
+    # metrics/benchmark consumers that predate the FrameRing extraction)
+    # ------------------------------------------------------------------
+    @property
+    def frames_emitted(self) -> int:
+        return self.ring.frames_emitted
+
+    @property
+    def anchors_emitted(self) -> int:
+        return self.ring.anchors_emitted
+
+    @property
+    def frame_bytes_total(self) -> int:
+        return self.ring.frame_bytes_total
+
+    @property
+    def evicted_frames(self) -> int:
+        return self.ring.evicted_frames
+
+    @property
+    def evicted_bytes(self) -> int:
+        return self.ring.evicted_bytes
+
+    @property
+    def evicted_epochs(self) -> int:
+        return self.ring.evicted_epochs
+
     @property
     def storage_words(self) -> int:
         """Retained external footprint in storage words (ring + remainder)."""
-        retained = self._retained_bytes + len(self.data)
+        retained = self.ring.retained_bytes + len(self.data)
         return (retained + STORAGE_WORD_BYTES - 1) // STORAGE_WORD_BYTES
 
     def stats(self) -> Dict[str, Any]:
         """Flight-recorder storage counters for metrics/benchmarks."""
         return {
             "stream_bytes": self.total_packet_bytes,
-            "frame_bytes": self.frame_bytes_total,
-            "retained_bytes": self._retained_bytes,
+            "frame_bytes": self.ring.frame_bytes_total,
+            "retained_bytes": self.ring.retained_bytes,
             "retained_words": self.storage_words,
             "retain_words": self.retain_words,
-            "frames": self.frames_emitted,
-            "anchors": self.anchors_emitted,
-            "evicted_frames": self.evicted_frames,
-            "evicted_bytes": self.evicted_bytes,
-            "evicted_epochs": self.evicted_epochs,
+            "frames": self.ring.frames_emitted,
+            "anchors": self.ring.anchors_emitted,
+            "evicted_frames": self.ring.evicted_frames,
+            "evicted_bytes": self.ring.evicted_bytes,
+            "evicted_epochs": self.ring.evicted_epochs,
             "compress_level": self.compress_level,
         }
 
     def reset_state(self) -> None:
         super().reset_state()
-        self._frames.clear()
-        self._retained_bytes = 0
-        self._retained_anchors = 0
+        observer = self.ring.observer
+        self.ring.clear()
+        self.ring.observer = observer
         self._framed_raw = 0
         self._pending_anchors.clear()
         self._last_anchor_watermark = -1
-        self.frames_emitted = 0
-        self.anchors_emitted = 0
-        self.frame_bytes_total = 0
-        self.evicted_frames = 0
-        self.evicted_bytes = 0
-        self.evicted_epochs = 0
         self._emit_genesis()

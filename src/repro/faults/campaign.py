@@ -314,6 +314,12 @@ class _Campaign:
             report = compare_traces(corrupted, rep.result["validation"])
         except ReproError as exc:
             return "detected", f"replay rejected: {type(exc).__name__}"
+        except Exception as exc:
+            # A corrupted payload can drive the replayed design itself off
+            # the rails — e.g. a flipped content byte decoding to an
+            # out-of-range register index. The crash is loud, attributable
+            # and deterministic: a detection, not a campaign failure.
+            return "detected", f"replay crashed: {type(exc).__name__}"
         if not report.clean:
             return "detected", (
                 f"divergence flagged ({len(report.divergences)} finding(s))")
@@ -400,7 +406,7 @@ def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
                  progress: Optional[Callable[[str], None]] = None,
                  scheduler: Optional[str] = None,
                  batch_size: Optional[int] = None,
-                 flight_recorder: bool = False,
+                 flight_recorder: Optional[bool] = None,
                  warm_pool: bool = False,
                  cache_dir: Optional[str] = None) -> CampaignReport:
     """Run a seeded fault campaign; see the module docstring for verdicts.
@@ -422,13 +428,20 @@ def run_campaign(app: str = "sha256", n_faults: int = 200, seed: int = 0,
     ``flight_recorder`` runs every record leg with the always-on ring
     store and serializes the reference as a v3 container, so the blob
     faults attack the framed/compressed format and the storage faults
-    land in the flight recorder's drain path.
+    land in the flight recorder's drain path. It now **defaults on**
+    (``None`` resolves to ``True``): campaign fleets are exactly the
+    deployments the always-on recorder exists for, and the flight path's
+    verdicts are containment-identical to the flat path's. Pass
+    ``False`` (CLI: ``--no-flight-recorder``) to opt out and attack the
+    flat v2 container instead.
 
     ``warm_pool`` routes the worker-crash trials' sharded replays through
     the process-persistent warm worker pool; ``cache_dir`` points the
     two-level compiled-schedule cache at a directory so campaigns share
     kernels across processes and invocations.
     """
+    if flight_recorder is None:
+        flight_recorder = True
     if cache_dir is not None:
         from repro.sim import schedule_store
         schedule_store.configure(cache_dir)

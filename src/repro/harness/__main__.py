@@ -482,9 +482,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "kernel (bit-identical verdicts, less "
                             "wall-clock)")
     p_cam.add_argument("--flight-recorder", action="store_true",
+                       dest="flight_recorder", default=None,
                        help="run every record leg through the flight "
                             "recorder and attack the v3 container in the "
-                            "blob trials")
+                            "blob trials (the default for campaigns)")
+    p_cam.add_argument("--no-flight-recorder", action="store_false",
+                       dest="flight_recorder",
+                       help="opt out: flat record legs, v2 container "
+                            "attacks")
     _add_scheduler_arg(p_cam)
     _add_cache_args(p_cam)
     p_cam.set_defaults(func=_cmd_campaign)

@@ -149,11 +149,29 @@ class WarmPool:
     def live_workers(self) -> int:
         return sum(1 for ex in self._slots if ex is not None)
 
-    def shutdown(self) -> None:
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (for drain/leak checks)."""
+        pids: List[int] = []
+        for ex in self._slots:
+            if ex is not None:
+                pids.extend(p.pid for p in ex._processes.values())
+        return pids
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain and stop every slot.
+
+        ``wait=True`` (the default) lets in-flight cells finish and then
+        joins each worker process — the graceful path the trace-service
+        daemon and atexit use, so no worker outlives its parent. The
+        previous fire-and-forget behaviour (``wait=False``) abandoned the
+        executor threads mid-handshake and could leak live worker
+        processes when the parent exited quickly; it remains available
+        for hard-recycle paths that already know the worker is dead.
+        """
         for slot, ex in enumerate(self._slots):
             self._slots[slot] = None
             if ex is not None:
-                ex.shutdown(wait=False, cancel_futures=True)
+                ex.shutdown(wait=wait, cancel_futures=True)
         self._seen = [set() for _ in range(self.size)]
 
 
@@ -176,11 +194,11 @@ def get_pool(jobs: int, cache_dir: Optional[str] = None) -> WarmPool:
     return _POOL
 
 
-def shutdown_pool() -> None:
-    """Tear down the shared pool (atexit, and tests that count workers)."""
+def shutdown_pool(wait: bool = True) -> None:
+    """Drain and tear down the shared pool (atexit, daemon shutdown, tests)."""
     global _POOL
     if _POOL is not None:
-        _POOL.shutdown()
+        _POOL.shutdown(wait=wait)
         _POOL = None
 
 

@@ -1,0 +1,21 @@
+"""Fleet-scale trace service: ingest daemon, job queue, results store.
+
+Turns the one-shot harness CLI into shared long-running infrastructure
+(ROADMAP item 2): a daemon that ingests concurrent flight-recorder
+streams from many tenants, schedules replay/salvage/divergence/campaign
+jobs over the process-persistent warm worker pool, and persists every
+verdict into an append-only CRC-framed results store. The thin HTTP
+API is consumed by ``vidi serve`` / ``vidi submit`` / ``vidi status`` /
+``vidi results`` (:mod:`repro.tools.cli`).
+"""
+
+from repro.service.client import FlightStreamer, ServiceClient
+from repro.service.ingest import IngestManager
+from repro.service.queue import Job, JobQueue
+from repro.service.results import ResultsStore, record_bench
+from repro.service.server import TraceService
+
+__all__ = [
+    "FlightStreamer", "ServiceClient", "IngestManager", "Job", "JobQueue",
+    "ResultsStore", "record_bench", "TraceService",
+]

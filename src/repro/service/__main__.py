@@ -1,0 +1,12 @@
+"""``python -m repro.service`` — alias for the service commands.
+
+Delegates to the shared tools CLI so ``python -m repro.service serve``
+and ``vidi serve`` are the same code path.
+"""
+
+import sys
+
+from repro.tools.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

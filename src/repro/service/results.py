@@ -1,0 +1,134 @@
+"""Persistent results store — append-only, CRC-framed, crash-tolerant.
+
+The daemon's durable memory: campaign verdicts, divergence reports, job
+results and bench history all land here, one JSON record per frame, so
+the fleet's history is queryable (``vidi results``) instead of scattered
+across per-run stdout and ``BENCH_*.json`` snapshots.
+
+Framing follows the schedule store's idiom
+(:mod:`repro.sim.schedule_store`): every record is
+``magic + crc32(body) + len(body) + body`` — any torn or flipped byte
+fails its CRC and the scan stops at the last intact record instead of
+propagating garbage. Appends are ``write + flush + fsync`` under a lock,
+so concurrent daemon threads serialize and a crash loses at most the
+record being written (the torn tail is skipped on the next scan, never
+mistaken for data).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+_MAGIC = b"VRS1"
+_HEADER = len(_MAGIC) + 4 + 4        # magic + crc32 + length
+
+__all__ = ["ResultsStore", "record_bench"]
+
+
+class ResultsStore:
+    """One append-only results file; thread-safe; torn-tail tolerant."""
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.appended = 0
+        self.skipped_corrupt = 0
+
+    # ------------------------------------------------------------------
+    def append(self, kind: str, name: str, payload: Any,
+               t: Optional[float] = None) -> None:
+        """Durably append one record; returns after fsync."""
+        body = json.dumps(
+            {"kind": kind, "name": name,
+             "t": time.time() if t is None else t,
+             "payload": payload},
+            sort_keys=True).encode("utf-8")
+        frame = (_MAGIC + zlib.crc32(body).to_bytes(4, "little")
+                 + len(body).to_bytes(4, "little") + body)
+        with self._lock:
+            with open(self.path, "ab") as fh:
+                fh.write(frame)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.appended += 1
+
+    # ------------------------------------------------------------------
+    def _scan(self) -> Iterator[Dict[str, Any]]:
+        """Yield intact records oldest-first; stop at the first damage.
+
+        A torn tail (daemon killed mid-append) or a flipped byte fails
+        the magic or CRC check; everything before it is still served.
+        """
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        offset = 0
+        while offset + _HEADER <= len(blob):
+            if blob[offset:offset + 4] != _MAGIC:
+                self.skipped_corrupt += 1
+                return
+            crc = int.from_bytes(blob[offset + 4:offset + 8], "little")
+            length = int.from_bytes(blob[offset + 8:offset + 12], "little")
+            end = offset + _HEADER + length
+            if end > len(blob):
+                self.skipped_corrupt += 1
+                return
+            body = blob[offset + _HEADER:end]
+            if zlib.crc32(body) != crc:
+                self.skipped_corrupt += 1
+                return
+            try:
+                yield json.loads(body.decode("utf-8"))
+            except ValueError:
+                self.skipped_corrupt += 1
+                return
+            offset = end
+
+    def records(self, kind: Optional[str] = None, name: Optional[str] = None,
+                limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Matching records, oldest first; ``limit`` keeps the newest N."""
+        out = [r for r in self._scan()
+               if (kind is None or r.get("kind") == kind)
+               and (name is None or r.get("name") == name)]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def bench_history(self, bench: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The bench-history table: every persisted BENCH_* snapshot."""
+        return self.records(kind="bench", name=bench)
+
+    def stats(self) -> Dict[str, Any]:
+        records = list(self._scan())
+        kinds: Dict[str, int] = {}
+        for r in records:
+            kinds[r.get("kind", "?")] = kinds.get(r.get("kind", "?"), 0) + 1
+        return {
+            "path": str(self.path),
+            "records": len(records),
+            "kinds": kinds,
+            "bytes": self.path.stat().st_size if self.path.exists() else 0,
+            "skipped_corrupt": self.skipped_corrupt,
+        }
+
+
+def record_bench(name: str, payload: Any, path: "str | Path") -> bool:
+    """Best-effort append of one bench snapshot into a results store.
+
+    Used by the benchmark suite's history hook: persisting the perf
+    trajectory must never fail a bench run, so every error is swallowed
+    and signalled only by the ``False`` return.
+    """
+    try:
+        ResultsStore(path).append("bench", name, payload)
+        return True
+    except OSError:
+        return False

@@ -15,9 +15,18 @@ inspection commands — behind one CLI::
     python -m repro.tools audit    run.trace --allow pcim:write:0x10000:0x1000
     python -m repro.tools coverage run1.trace run2.trace ...
 
+The trace-service daemon (:mod:`repro.service`) lives behind the same
+CLI — installed as the ``vidi`` console script::
+
+    vidi serve   --data-dir /var/vidi --jobs 8
+    vidi submit  --data-dir /var/vidi record --app sha256 --seed 7
+    vidi submit  --data-dir /var/vidi campaign --faults 200 --wait
+    vidi status  --data-dir /var/vidi
+    vidi results --data-dir /var/vidi --kind job --limit 10
+
 Commands print to stdout and exit non-zero on divergences (``diff``),
-policy violations (``audit``) or invalid mutations, so they compose in
-scripts and CI.
+policy violations (``audit``), invalid mutations or failed jobs, so
+they compose in scripts and CI.
 """
 
 from __future__ import annotations
@@ -275,6 +284,109 @@ def cmd_coverage(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# trace service (daemon + client)
+# ----------------------------------------------------------------------
+
+
+def cmd_serve(args) -> int:
+    """Run the trace-service daemon in the foreground."""
+    from repro.service.server import TraceService
+
+    service = TraceService(args.data_dir, jobs=args.jobs, host=args.host,
+                           port=args.port, cache_dir=args.cache_dir,
+                           retain_words=args.retain_words)
+    print(f"trace service listening on {service.endpoint} "
+          f"(data dir {service.data_dir}, {args.jobs} job slot(s))")
+    sys.stdout.flush()
+    service.serve_forever()
+    return 0
+
+
+def _job_params(args) -> dict:
+    """Collect the submit subcommand's params into a job-params dict."""
+    params = {}
+    for name in ("app", "seed", "scale", "scheduler", "trace_path",
+                 "save_to", "n_faults", "crash_app", "batch_size",
+                 "flight_recorder", "salvage"):
+        value = getattr(args, name, None)
+        if value is not None and value is not False:
+            params[name] = value
+    return params
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a running daemon; optionally wait for it."""
+    import json as _json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(data_dir=args.data_dir, endpoint=args.endpoint)
+    job_id = client.submit(args.job_kind, _job_params(args),
+                           priority=args.priority)
+    print(f"submitted {args.job_kind} as {job_id}")
+    if not args.wait:
+        return 0
+    detail = client.wait(job_id, timeout=args.timeout)
+    print(_json.dumps(detail["result"], indent=2, sort_keys=True))
+    result = detail["result"] or {}
+    if result.get("clean") is False or result.get("silent_accepts"):
+        return 1
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Show a running daemon's queue/ingest/results summary."""
+    import json as _json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(data_dir=args.data_dir, endpoint=args.endpoint)
+    status = client.status(args.job) if args.job else client.status()
+    print(_json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_results(args) -> int:
+    """Query the persistent results store (live daemon or direct file)."""
+    import json as _json
+
+    if args.endpoint or (args.data_dir and _service_live(args.data_dir)):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(data_dir=args.data_dir,
+                               endpoint=args.endpoint)
+        records = client.results(kind=args.kind, name=args.name,
+                                 limit=args.limit)
+    else:
+        # No live daemon: read the store file directly (same framing).
+        from repro.service.results import ResultsStore
+        from repro.service.server import RESULTS_FILENAME
+
+        store = ResultsStore(f"{args.data_dir}/{RESULTS_FILENAME}")
+        records = store.records(kind=args.kind, name=args.name,
+                                limit=args.limit)
+    print(_json.dumps(records, indent=2, sort_keys=True))
+    return 0
+
+
+def _service_live(data_dir: str) -> bool:
+    from pathlib import Path
+
+    from repro.service.server import SERVICE_FILENAME
+
+    return (Path(data_dir) / SERVICE_FILENAME).exists()
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--data-dir", default=".vidi-service", metavar="DIR",
+                        help="the daemon's data directory (journals, "
+                        "results store, service.json endpoint file)")
+    parser.add_argument("--endpoint", default=None, metavar="URL",
+                        help="explicit http://host:port (overrides the "
+                        "data dir's service.json)")
+
+
+# ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
 
@@ -370,6 +482,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_sal.add_argument("-o", "--output",
                        help="write the recovered trace here")
     p_sal.set_defaults(func=cmd_salvage)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the trace-service daemon (async ingest, job "
+        "queue over the warm pool, persistent results store)")
+    p_serve.add_argument("--data-dir", default=".vidi-service",
+                         metavar="DIR")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="0 picks a free port (written to "
+                         "service.json in the data dir)")
+    p_serve.add_argument("--jobs", type=int, default=4,
+                         help="warm-pool width = concurrent jobs")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="compiled-schedule cache shared by workers")
+    from repro.core.config import DEFAULT_FLIGHT_RETAIN_WORDS
+
+    p_serve.add_argument("--retain-words", type=int,
+                         default=DEFAULT_FLIGHT_RETAIN_WORDS,
+                         help="per-tenant live ring retention budget")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a record/replay/divergence/salvage/"
+        "campaign job to a running daemon")
+    _add_service_args(p_sub)
+    p_sub.add_argument("job_kind", choices=(
+        "record", "replay", "divergence", "salvage", "campaign"))
+    p_sub.add_argument("--app", default=None)
+    p_sub.add_argument("--seed", type=int, default=None)
+    p_sub.add_argument("--scale", type=float, default=None)
+    p_sub.add_argument("--scheduler",
+                       choices=("event", "fixpoint", "compiled"),
+                       default=None)
+    p_sub.add_argument("--trace-path", default=None, metavar="PATH",
+                       help="trace file for replay/salvage jobs (must be "
+                       "readable by the daemon)")
+    p_sub.add_argument("--save-to", default=None, metavar="PATH",
+                       help="record jobs: also write the trace blob here")
+    p_sub.add_argument("--faults", type=int, default=None, dest="n_faults",
+                       help="campaign jobs: fault count")
+    p_sub.add_argument("--crash-app", default=None)
+    p_sub.add_argument("--batch-size", type=int, default=None)
+    p_sub.add_argument("--flight-recorder", action="store_true",
+                       default=None)
+    p_sub.add_argument("--salvage", action="store_true", default=None,
+                       help="replay jobs: salvage the trace before replay")
+    p_sub.add_argument("--priority", type=int, default=10,
+                       help="lower runs first; FIFO within a level")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the job finishes and print its "
+                       "result (exit 1 on divergence/silent-accepts)")
+    p_sub.add_argument("--timeout", type=float, default=600.0)
+    p_sub.set_defaults(func=cmd_submit)
+
+    p_stat = sub.add_parser(
+        "status", help="a running daemon's queue/ingest/results summary")
+    _add_service_args(p_stat)
+    p_stat.add_argument("--job", default=None, metavar="JOB_ID",
+                        help="show one job's full detail instead")
+    p_stat.set_defaults(func=cmd_status)
+
+    p_res = sub.add_parser(
+        "results", help="query the persistent results store (live daemon "
+        "or its on-disk file)")
+    _add_service_args(p_res)
+    p_res.add_argument("--kind", default=None,
+                       help="filter: job | bench | ...")
+    p_res.add_argument("--name", default=None,
+                       help="filter: job kind or bench name")
+    p_res.add_argument("--limit", type=int, default=None,
+                       help="newest N records")
+    p_res.set_defaults(func=cmd_results)
     return parser
 
 

@@ -302,3 +302,27 @@ class TestCampaign:
         two = run_campaign(app="sha256", n_faults=6, seed=3)
         assert [(t.kind, t.seed, t.outcome) for t in one.trials] \
             == [(t.kind, t.seed, t.outcome) for t in two.trials]
+
+    def test_flight_recorder_is_the_campaign_default(self):
+        """The default (None) resolves to flight-recorder record legs.
+
+        Campaign fleets are the deployments the always-on recorder exists
+        for, so ``run_campaign`` now defaults it on. The regression pinned
+        here: the default is trial-for-trial identical to an explicit
+        ``flight_recorder=True``, and the opt-out still contains every
+        fault (same schedule — the fault plans are drawn before any leg
+        runs — with v2 flat containers under attack instead of v3).
+        """
+        default = run_campaign(app="sha256", n_faults=8, seed=5)
+        explicit = run_campaign(app="sha256", n_faults=8, seed=5,
+                                flight_recorder=True)
+        assert [(t.index, t.kind, t.seed, t.outcome, t.detail)
+                for t in default.trials] \
+            == [(t.index, t.kind, t.seed, t.outcome, t.detail)
+                for t in explicit.trials]
+        opt_out = run_campaign(app="sha256", n_faults=8, seed=5,
+                               flight_recorder=False)
+        assert [(t.index, t.kind, t.seed) for t in opt_out.trials] \
+            == [(t.index, t.kind, t.seed) for t in default.trials]
+        assert not opt_out.silent_accepts
+        assert not default.silent_accepts
